@@ -1,0 +1,62 @@
+"""E2 — Lemma 2: EstimateSimilarity accuracy and message cost.
+
+For a sweep of overlap fractions and accuracies ε we measure the estimation
+error of Algorithm 1 relative to the permitted ``ε·max(|S_u|, |S_v|)`` and the
+number of bits exchanged (which Lemma 2 bounds by
+``O(ε^{-4} log(1/ν) + log log|U| + log max(|S_u|,|S_v|))``).
+"""
+
+from __future__ import annotations
+
+import random
+
+from benchmarks.conftest import emit, run_once
+from repro.sampling import SimilarityParameters, estimate_similarity
+
+SET_SIZE = 600
+TRIALS = 20
+
+
+def overlapping_sets(overlap: int):
+    shared = set(range(overlap))
+    left = shared | {10 ** 6 + i for i in range(SET_SIZE - overlap)}
+    right = shared | {2 * 10 ** 6 + i for i in range(SET_SIZE - overlap)}
+    return left, right
+
+
+def measure():
+    rows = []
+    for eps in (0.5, 0.3, 0.2):
+        params = SimilarityParameters(eps=eps, nu=0.1, max_scale=4, sigma_cap=4096, seed=1)
+        for overlap_fraction in (0.75, 0.5, 0.25, 0.05):
+            overlap = int(overlap_fraction * SET_SIZE)
+            left, right = overlapping_sets(overlap)
+            errors, bits = [], []
+            within = 0
+            for trial in range(TRIALS):
+                result = estimate_similarity(left, right, params, rng=random.Random(trial))
+                error = abs(result.estimate - overlap)
+                errors.append(error)
+                bits.append(result.bits_exchanged)
+                within += error <= eps * SET_SIZE
+            rows.append({
+                "eps": eps,
+                "true |Su∩Sv|": overlap,
+                "mean estimate error": round(sum(errors) / TRIALS, 1),
+                "allowed (eps*max)": round(eps * SET_SIZE, 1),
+                "fraction within bound": round(within / TRIALS, 2),
+                "bits per run": bits[0],
+            })
+    return rows
+
+
+def test_e02_estimate_similarity_accuracy(benchmark):
+    rows = run_once(benchmark, measure)
+    emit(benchmark, "E2 — Lemma 2: EstimateSimilarity error vs ε·max(|Su|,|Sv|)", rows)
+    # Shape: the overwhelming majority of runs respect the Lemma 2 bound, and
+    # the message cost grows as ε shrinks (the ε^{-4} dependence).
+    for row in rows:
+        assert row["fraction within bound"] >= 0.8
+    loose = next(r for r in rows if r["eps"] == 0.5)
+    tight = next(r for r in rows if r["eps"] == 0.2)
+    assert tight["bits per run"] >= loose["bits per run"]

@@ -1,0 +1,64 @@
+"""E4 — Lemmas 4-5: sparsity estimation accuracy in O(1) rounds.
+
+Every node of a random graph and of a planted almost-clique graph estimates
+its global and local sparsity; we report the fraction of nodes whose estimate
+falls within the permitted ``ε·Δ`` (resp. ``ε·d_v``) window and the number of
+CONGEST rounds the whole procedure used.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit, run_once
+from repro.congest import Network
+from repro.graphs import (
+    exact_global_sparsity,
+    exact_local_sparsity,
+    gnp_graph,
+    planted_almost_cliques,
+)
+from repro.sampling import estimate_global_sparsity, estimate_local_sparsity
+
+EPS = 0.4
+
+
+def measure():
+    rows = []
+    workloads = {
+        "G(100, 0.1)": gnp_graph(100, 0.1, seed=4),
+        "planted cliques": planted_almost_cliques(3, 16, num_sparse=20, seed=4).graph,
+    }
+    for name, graph in workloads.items():
+        net = Network(graph)
+        global_est = estimate_global_sparsity(net, eps=EPS, seed=5)
+        delta = max(d for _, d in graph.degree())
+        within_global = sum(
+            1 for v in graph.nodes()
+            if abs(global_est[v] - exact_global_sparsity(graph, v)) <= EPS * delta
+        ) / graph.number_of_nodes()
+
+        local_est = estimate_local_sparsity(net, eps=EPS, seed=6)
+        reliable = [v for v in graph.nodes() if local_est.reliable[v] and graph.degree(v) > 0]
+        within_local = sum(
+            1 for v in reliable
+            if abs(local_est[v] - exact_local_sparsity(graph, v)) <= EPS * graph.degree(v) + 1
+        ) / max(1, len(reliable))
+
+        rows.append({
+            "workload": name,
+            "eps": EPS,
+            "global: within εΔ": round(within_global, 3),
+            "local: within εd (reliable nodes)": round(within_local, 3),
+            "reliable nodes": f"{len(reliable)}/{graph.number_of_nodes()}",
+            "rounds (global)": global_est.rounds_used,
+            "rounds (local)": local_est.rounds_used,
+        })
+    return rows
+
+
+def test_e04_sparsity_estimation(benchmark):
+    rows = run_once(benchmark, measure)
+    emit(benchmark, "E4 — Lemmas 4-5: sparsity estimation accuracy", rows)
+    for row in rows:
+        assert row["global: within εΔ"] >= 0.9
+        assert row["local: within εd (reliable nodes)"] >= 0.8
+        assert row["rounds (global)"] <= 40

@@ -1,0 +1,57 @@
+"""E5 — Theorem 2: local triangle-richness detection.
+
+Planted instance: a sparse background plus dense communities whose edges sit
+in many triangles.  Every edge decides locally whether it is in ≥ εΔ
+triangles; we measure recall on clearly-rich edges, false positives on
+clearly-poor edges, and the (constant) number of rounds.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit, run_once
+from repro.congest import Network
+from repro.graphs.generators import triangle_rich_graph
+from repro.sampling import detect_triangle_rich_edges
+from repro.sampling.triangles import true_triangle_count
+
+EPS = 0.3
+
+
+def measure():
+    rows = []
+    for n, cliques in ((120, 3), (240, 4)):
+        planted = triangle_rich_graph(
+            n=n, background_p=0.02, planted_cliques=cliques, clique_size=14, seed=n
+        )
+        net = Network(planted.graph)
+        result = detect_triangle_rich_edges(net, eps=EPS, seed=n)
+        hits = misses = false_alarms = 0
+        rich = poor = 0
+        for u, v in planted.graph.edges():
+            count = true_triangle_count(net, u, v)
+            flagged = result.is_flagged(u, v)
+            if count >= 2 * result.threshold:
+                rich += 1
+                hits += flagged
+                misses += not flagged
+            elif count <= 0.25 * result.threshold:
+                poor += 1
+                false_alarms += flagged
+        rows.append({
+            "n": n,
+            "threshold εΔ": round(result.threshold, 1),
+            "recall on rich edges": round(hits / max(1, rich), 3),
+            "false positive rate": round(false_alarms / max(1, poor), 3),
+            "rounds": result.rounds_used,
+        })
+    return rows
+
+
+def test_e05_triangle_detection(benchmark):
+    rows = run_once(benchmark, measure)
+    emit(benchmark, "E5 — Theorem 2: local triangle detection", rows)
+    for row in rows:
+        assert row["recall on rich edges"] >= 0.8
+        assert row["false positive rate"] <= 0.1
+    # Rounds do not grow with n (Theorem 2: O(ε^-4) rounds).
+    assert rows[-1]["rounds"] <= rows[0]["rounds"] + 5

@@ -1,0 +1,62 @@
+"""E13 — Figures 1-2: anatomy of A|_h, A ∧_h B and A ¬_h B under a random member.
+
+The paper's two figures illustrate how a set A splits, under a hash function
+and threshold σ, into the low-hashing part, the colliding part and the
+collision-free part.  This benchmark regenerates the quantitative version of
+the figures: the average sizes of the three parts over random family members,
+compared with their first-order predictions σ|A|/λ and 2βσ|A|/λ.
+"""
+
+from __future__ import annotations
+
+import random
+
+from benchmarks.conftest import emit, run_once
+from repro.hashing.representative import RepresentativeHashFamily
+from repro.hashing.setops import colliding_part, low_part, unique_part
+
+LAM = 20000
+TRIALS = 40
+
+
+def measure():
+    family = RepresentativeHashFamily(
+        universe_label="e13", universe_size=10 ** 9, lam=LAM,
+        alpha=0.05, beta=0.25, nu=0.1, seed=13,
+    )
+    sigma = family.sigma
+    rng = random.Random(0)
+    rows = []
+    scenarios = {
+        "Fig. 1 (B = A)": (set(range(500)), set(range(500))),
+        "Fig. 2 (B ≠ A, heavy overlap)": (set(range(500)), set(range(250, 750))),
+        "Fig. 2 (B ≠ A, light overlap)": (set(range(500)), set(range(450, 950))),
+    }
+    for label, (a, b) in scenarios.items():
+        low_sizes, collide_sizes, unique_sizes = [], [], []
+        for _ in range(TRIALS):
+            h = family.member(family.sample_index(rng))
+            low_sizes.append(len(low_part(h, a, sigma)))
+            collide_sizes.append(len(colliding_part(h, a, b, sigma)))
+            unique_sizes.append(len(unique_part(h, a, b, sigma)))
+        predicted_low = sigma * len(a) / LAM
+        rows.append({
+            "scenario": label,
+            "predicted |A|_h| (σ|A|/λ)": round(predicted_low, 1),
+            "measured |A|_h|": round(sum(low_sizes) / TRIALS, 1),
+            "measured |A ∧ B|": round(sum(collide_sizes) / TRIALS, 1),
+            "measured |A ¬ B|": round(sum(unique_sizes) / TRIALS, 1),
+        })
+    return rows
+
+
+def test_e13_set_operator_figure(benchmark):
+    rows = run_once(benchmark, measure)
+    emit(benchmark, "E13 — Figures 1-2: sizes of A|_h, A ∧ B, A ¬ B", rows)
+    for row in rows:
+        # Concentration of |A|_h| around σ|A|/λ.
+        assert abs(row["measured |A|_h|"] - row["predicted |A|_h| (σ|A|/λ)"]) \
+            <= 0.35 * row["predicted |A|_h| (σ|A|/λ)"]
+        # Partition identity: collide + unique = low part (the table rounds to
+        # one decimal, so allow the rounding slack).
+        assert abs(row["measured |A ∧ B|"] + row["measured |A ¬ B|"] - row["measured |A|_h|"]) <= 0.3

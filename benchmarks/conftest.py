@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one experiment of EXPERIMENTS.md (the quantitative
+content of a theorem/lemma of the paper).  ``pytest-benchmark`` provides the
+wall-clock measurement; the paper-relevant series (rounds, bits, success
+probabilities, estimation errors) are printed to stdout with
+:func:`repro.metrics.format_table` and attached to ``benchmark.extra_info`` so
+they appear in ``--benchmark-json`` exports.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+import pytest
+
+from repro.metrics import format_table
+
+
+def emit(benchmark, title: str, rows: Sequence[Mapping[str, object]]) -> None:
+    """Print an experiment table and attach it to the benchmark record."""
+    text = format_table(rows, title=title)
+    print("\n" + text)
+    if benchmark is not None:
+        benchmark.extra_info["table"] = [dict(row) for row in rows]
+        benchmark.extra_info["title"] = title
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under the benchmark timer and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Coloring a social-network-like graph: D1LC vs the classic random-trial baseline.
+
+Power-law graphs are the motivating workload for (degree+1)-list-coloring:
+hub nodes have huge degrees while most nodes are small, so giving everyone a
+(Δ+1)-sized palette is wasteful and the per-node ``deg+1`` lists of D1LC are
+the natural formulation.  The script colors such a graph with
+
+* the paper's CONGEST pipeline (``solve_d1lc``), and
+* the classical Johansson-style random trials (``O(log n)`` rounds),
+
+and compares rounds and communication.  The interesting comparison is the
+*shape*: the pipeline's round count is dominated by constant-size phases while
+the baseline pays a full synchronous round per retry.
+"""
+
+from __future__ import annotations
+
+from repro import ColoringParameters, solve_d1lc
+from repro.baselines import johansson_coloring
+from repro.graphs import degree_plus_one_lists, power_law_graph
+from repro.metrics import format_table
+
+
+def main() -> None:
+    graph = power_law_graph(300, attachment=4, triangle_prob=0.4, seed=3)
+    lists = degree_plus_one_lists(graph, seed=4)
+    delta = max(d for _, d in graph.degree())
+    print(f"power-law graph: n={graph.number_of_nodes()}, m={graph.number_of_edges()}, Δ={delta}")
+
+    pipeline = solve_d1lc(graph, lists, params=ColoringParameters.small(seed=11))
+    baseline = johansson_coloring(graph, lists, seed=11)
+
+    rows = []
+    for name, result in (("paper pipeline (CONGEST)", pipeline), ("random trials baseline", baseline)):
+        rows.append({
+            "algorithm": name,
+            "valid": result.is_valid,
+            "rounds": result.rounds,
+            "total_bits": result.total_bits,
+            "max_bits_per_edge_round": result.max_edge_bits,
+        })
+    print(format_table(rows, title="\ncomparison"))
+
+    print("\npipeline rounds by phase:")
+    for phase, rounds in sorted(pipeline.rounds_by_phase.items()):
+        print(f"  {phase:>10}: {rounds}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Local triangle detection with EstimateSimilarity (Theorem 2).
+
+A sparse "network traffic" graph is planted with a few dense communities;
+edges inside a community participate in many triangles.  Every edge runs the
+O(ε^-4)-round detector and decides locally whether it is triangle-rich — no
+global coordinator, no edge ever learns more than the hashed samples of its
+endpoints' neighbourhoods.
+"""
+
+from __future__ import annotations
+
+from repro.congest import Network
+from repro.graphs.generators import triangle_rich_graph
+from repro.metrics import format_table
+from repro.sampling import detect_triangle_rich_edges
+from repro.sampling.triangles import true_triangle_count
+
+
+def main() -> None:
+    planted = triangle_rich_graph(
+        n=200, background_p=0.02, planted_cliques=4, clique_size=16, seed=5
+    )
+    graph = planted.graph
+    network = Network(graph)
+    eps = 0.3
+    result = detect_triangle_rich_edges(network, eps=eps, seed=6)
+
+    # Score the detector against the exact triangle counts.
+    hits = misses = false_alarms = quiet = 0
+    for u, v in graph.edges():
+        count = true_triangle_count(network, u, v)
+        flagged = result.is_flagged(u, v)
+        if count >= 2 * result.threshold:
+            hits += flagged
+            misses += not flagged
+        elif count <= 0.25 * result.threshold:
+            false_alarms += flagged
+            quiet += not flagged
+
+    rows = [
+        {"metric": "edges", "value": graph.number_of_edges()},
+        {"metric": "detection threshold (εΔ triangles)", "value": round(result.threshold, 1)},
+        {"metric": "rich edges correctly flagged", "value": hits},
+        {"metric": "rich edges missed", "value": misses},
+        {"metric": "sparse edges incorrectly flagged", "value": false_alarms},
+        {"metric": "CONGEST rounds", "value": result.rounds_used},
+        {"metric": "max bits per edge per round", "value": network.ledger.max_edge_bits},
+    ]
+    print(format_table(rows, title="local triangle detection"))
+
+
+if __name__ == "__main__":
+    main()

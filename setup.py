@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment used for this reproduction has setuptools but not the
+``wheel`` package, so PEP 517 editable installs (which build a wheel) fail.
+Keeping a ``setup.py`` alongside ``pyproject.toml`` lets ``pip install -e .``
+fall back to the legacy editable path.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

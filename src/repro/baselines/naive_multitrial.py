@@ -1,0 +1,82 @@
+"""Naive MultiTrial: send the tried colors verbatim.
+
+Trying ``x`` colors by listing them costs ``x · log|C|`` bits per edge, i.e.
+``Θ(x · log|C| / log n)`` CONGEST rounds — the cost the paper's hashing-based
+MultiTrial (Section 4.1) compresses to ``O(1)`` rounds.  Functionally the two
+are interchangeable (this one even has slightly better success probability,
+having no hash collisions), which is what makes the bandwidth ablation
+(Experiment E12) a like-for-like comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Set, Union
+
+from repro.congest.message import Message
+from repro.core.slack import announce_adoptions
+from repro.core.state import ColoringState
+
+Node = Hashable
+Color = Hashable
+
+
+def naive_multi_trial(
+    state: ColoringState,
+    tries: Union[int, Mapping[Node, int]],
+    participants: Optional[Iterable[Node]] = None,
+    label: str = "naive-multitrial",
+) -> Set[Node]:
+    """Try ``x`` random palette colors per node, sending the colors explicitly."""
+    if participants is None:
+        participants = state.uncolored_nodes()
+    participants = [
+        v for v in participants if not state.is_colored(v) and state.palettes[v]
+    ]
+    if not participants:
+        state.network.charge_silent_round(label=f"{label}:colors")
+        state.network.charge_silent_round(label=f"{label}:adopt")
+        return set()
+    participating = set(participants)
+
+    tries_by_node: Dict[Node, int] = (
+        {v: tries for v in participants}
+        if isinstance(tries, int)
+        else {v: int(tries.get(v, 0)) for v in participants}
+    )
+
+    color_bits = state.hasher.color_bits()
+    trial_colors: Dict[Node, List[Color]] = {}
+    for v in participants:
+        palette = sorted(state.palettes[v], key=repr)
+        rng = state.rng.for_node(v, "naive-multitrial", state.network.rounds_used)
+        x = max(1, min(tries_by_node.get(v, 1), len(palette)))
+        trial_colors[v] = rng.sample(palette, x)
+
+    # One (chunked) exchange: the full list of tried colors on every edge
+    # between participants, encoded per the receiver's color hasher.
+    messages = {}
+    for v in participants:
+        for u in state.network.neighbors(v):
+            if u not in participating:
+                continue
+            encoded = tuple(state.hasher.value_for(u, psi) for psi in trial_colors[v])
+            messages[(v, u)] = Message(
+                content=encoded,
+                bits=max(1, color_bits * len(encoded)),
+                label=f"{label}:colors",
+            )
+    delivered = state.network.exchange_chunked(messages, label=f"{label}:colors")
+
+    blocked: Dict[Node, Set] = {v: set() for v in participants}
+    for (sender, receiver), values in delivered.items():
+        blocked[receiver].update(values)
+
+    adopted: Dict[Node, Color] = {}
+    for v in participants:
+        for psi in trial_colors[v]:
+            if state.hasher.value_for(v, psi) not in blocked[v]:
+                adopted[v] = psi
+                state.adopt(v, psi)
+                break
+    announce_adoptions(state, adopted, label=label)
+    return set(adopted)

@@ -1,0 +1,58 @@
+"""The classical random-color-trial coloring baseline (Johansson / Luby style).
+
+Every uncolored node repeatedly proposes a uniformly random color from its
+current palette and keeps it if no neighbour proposed the same color; adopted
+colors are removed from the neighbours' palettes.  With ``deg+1`` lists every
+node succeeds with constant probability per iteration, so the algorithm
+finishes in ``O(log n)`` rounds w.h.p. — the baseline bound the paper's
+``O(log^5 log n)`` result improves on.  It sends one color per round per edge,
+so it runs in CONGEST whenever single colors fit in a message (and through the
+large-color hashing otherwise).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Mapping, Optional
+
+import networkx as nx
+
+from repro.congest.network import Network
+from repro.core.d1lc import _build_result
+from repro.core.params import ColoringParameters
+from repro.core.problem import ColoringInstance
+from repro.core.slack import try_random_color
+from repro.core.state import ColoringResult, ColoringState
+
+Node = Hashable
+Color = Hashable
+
+
+def johansson_coloring(
+    graph: nx.Graph,
+    lists: Optional[Mapping[Node, Iterable[Color]]] = None,
+    mode: str = "congest",
+    seed: int = 0,
+    max_iterations: Optional[int] = None,
+    params: Optional[ColoringParameters] = None,
+) -> ColoringResult:
+    """Color ``graph`` by iterated random color trials.
+
+    Returns the same :class:`~repro.core.state.ColoringResult` structure as the
+    main solver, so benchmarks can compare rounds and bits directly.
+    """
+    if lists is None:
+        instance = ColoringInstance.d1c(graph)
+    else:
+        instance = ColoringInstance.d1lc(graph, lists)
+    params = (params or ColoringParameters.small()).with_seed(seed)
+    network = Network(graph, mode=mode)
+    state = ColoringState(instance, network, params)
+    if max_iterations is None:
+        max_iterations = 8 * max(4, graph.number_of_nodes().bit_length() ** 2)
+
+    for _ in range(max_iterations):
+        uncolored = state.uncolored_nodes()
+        if not uncolored:
+            break
+        try_random_color(state, uncolored, label="johansson")
+    return _build_result(state, fallback_count=0)

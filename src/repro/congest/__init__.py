@@ -1,0 +1,36 @@
+"""Synchronous CONGEST / LOCAL network simulator.
+
+The simulator is the substrate every distributed primitive in this
+reproduction runs on.  A :class:`~repro.congest.network.Network` wraps a
+``networkx`` graph and exposes synchronous communication primitives
+(:meth:`~repro.congest.network.Network.exchange`,
+:meth:`~repro.congest.network.Network.broadcast`).  Each call is one CONGEST
+round: the round counter advances and each per-edge payload is charged its bit
+size against the bandwidth budget (``O(log n)`` bits in CONGEST, unlimited in
+LOCAL mode).  Oversized messages raise
+:class:`~repro.congest.errors.BandwidthExceeded`, so the coloring algorithms
+cannot accidentally cheat the model.
+"""
+
+from repro.congest.errors import BandwidthExceeded, CongestError, ProtocolError
+from repro.congest.bandwidth import payload_bits
+from repro.congest.message import Message
+from repro.congest.node import NodeState
+from repro.congest.network import Network, RoundRecord
+from repro.congest.program import NodeProgram, ProgramContext
+from repro.congest.simulator import Simulator, SimulationResult
+
+__all__ = [
+    "BandwidthExceeded",
+    "CongestError",
+    "ProtocolError",
+    "payload_bits",
+    "Message",
+    "NodeState",
+    "Network",
+    "RoundRecord",
+    "NodeProgram",
+    "ProgramContext",
+    "Simulator",
+    "SimulationResult",
+]

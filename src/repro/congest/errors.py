@@ -1,0 +1,35 @@
+"""Exception types raised by the CONGEST simulator."""
+
+from __future__ import annotations
+
+
+class CongestError(Exception):
+    """Base class for all simulator errors."""
+
+
+class BandwidthExceeded(CongestError):
+    """A single-round per-edge message exceeded the bandwidth budget.
+
+    The CONGEST model allows ``O(log n)`` bits per edge per round.  The
+    simulator enforces the concrete budget configured on the network; any
+    primitive that tries to push more bits through an edge in one round gets
+    this exception instead of silently violating the model.
+    """
+
+    def __init__(self, edge, bits: int, budget: int, label: str = ""):
+        self.edge = edge
+        self.bits = bits
+        self.budget = budget
+        self.label = label
+        super().__init__(
+            f"message on edge {edge} uses {bits} bits, budget is {budget} bits"
+            + (f" (round label: {label})" if label else "")
+        )
+
+
+class ProtocolError(CongestError):
+    """An algorithm used the network API incorrectly.
+
+    Examples: sending a message between non-adjacent nodes, or addressing a
+    node that does not exist in the graph.
+    """

@@ -1,0 +1,319 @@
+"""The synchronous CONGEST / LOCAL network.
+
+A :class:`Network` wraps an undirected ``networkx`` graph and provides the
+communication primitives the coloring algorithms are written against.  All
+communication goes through :meth:`Network.exchange` (per-edge directed
+messages) or :meth:`Network.broadcast` (same message to all neighbours); every
+call is exactly one synchronous round, and every per-edge payload is charged
+its bit size against the bandwidth budget.
+
+The budget defaults to ``ceil(bandwidth_factor * log2 n)`` bits, i.e. the
+CONGEST model with ``log n`` bandwidth used in the paper (Theorem 1).  LOCAL
+mode (``mode="local"``) removes the budget and is used by the LOCAL baselines
+and by ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Iterable, List, Mapping, Optional, Tuple
+
+import networkx as nx
+
+from repro.congest.bandwidth import payload_bits
+from repro.congest.errors import BandwidthExceeded, ProtocolError
+from repro.congest.message import unwrap
+
+Node = Hashable
+DirectedEdge = Tuple[Node, Node]
+
+
+@dataclass
+class RoundRecord:
+    """Accounting for a single synchronous round."""
+
+    index: int
+    label: str
+    message_count: int
+    total_bits: int
+    max_edge_bits: int
+
+
+@dataclass
+class BandwidthLedger:
+    """Aggregate communication statistics over an execution."""
+
+    rounds: int = 0
+    total_bits: int = 0
+    total_messages: int = 0
+    max_edge_bits: int = 0
+    records: List[RoundRecord] = field(default_factory=list)
+
+    def record_round(self, label: str, message_count: int, total_bits: int,
+                     max_edge_bits: int) -> None:
+        self.rounds += 1
+        self.total_bits += total_bits
+        self.total_messages += message_count
+        self.max_edge_bits = max(self.max_edge_bits, max_edge_bits)
+        self.records.append(
+            RoundRecord(
+                index=self.rounds,
+                label=label,
+                message_count=message_count,
+                total_bits=total_bits,
+                max_edge_bits=max_edge_bits,
+            )
+        )
+
+    def rounds_by_label(self) -> Dict[str, int]:
+        """Number of rounds spent under each label (useful in benchmarks)."""
+        counts: Dict[str, int] = {}
+        for record in self.records:
+            counts[record.label] = counts.get(record.label, 0) + 1
+        return counts
+
+
+class Network:
+    """A synchronous message-passing network over an undirected graph.
+
+    Parameters
+    ----------
+    graph:
+        The communication graph.  Self-loops are rejected.
+    mode:
+        ``"congest"`` (default) enforces the per-edge bandwidth budget;
+        ``"local"`` allows messages of arbitrary size.
+    bandwidth_bits:
+        Explicit per-edge per-round budget in bits.  When omitted it defaults
+        to ``ceil(bandwidth_factor * log2(max(n, 2)))``.
+    bandwidth_factor:
+        Multiplier on ``log2 n`` for the default budget.  The paper's
+        algorithms use a constant number of ``log n``-bit words per round; a
+        factor of 32 words keeps the accounting honest (every primitive still
+        uses ``O(log n)`` bits) while leaving room for the constant factors
+        that the paper hides in Θ-notation.
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        mode: str = "congest",
+        bandwidth_bits: Optional[int] = None,
+        bandwidth_factor: float = 32.0,
+    ):
+        if mode not in ("congest", "local"):
+            raise ValueError(f"unknown mode: {mode!r}")
+        if any(u == v for u, v in graph.edges()):
+            raise ProtocolError("self-loops are not allowed in a CONGEST network")
+        self.graph = graph
+        self.mode = mode
+        self.bandwidth_factor = float(bandwidth_factor)
+        n = max(graph.number_of_nodes(), 2)
+        if bandwidth_bits is None:
+            bandwidth_bits = int(math.ceil(bandwidth_factor * math.log2(n)))
+        self.bandwidth_bits = int(bandwidth_bits)
+        self.ledger = BandwidthLedger()
+        self._adjacency: Dict[Node, frozenset] = {
+            v: frozenset(graph.neighbors(v)) for v in graph.nodes()
+        }
+
+    # ------------------------------------------------------------------ views
+    @property
+    def nodes(self) -> List[Node]:
+        return list(self.graph.nodes())
+
+    @property
+    def number_of_nodes(self) -> int:
+        return self.graph.number_of_nodes()
+
+    @property
+    def rounds_used(self) -> int:
+        return self.ledger.rounds
+
+    def neighbors(self, v: Node) -> frozenset:
+        try:
+            return self._adjacency[v]
+        except KeyError:
+            raise ProtocolError(f"node {v!r} is not in the network") from None
+
+    def degree(self, v: Node) -> int:
+        return len(self.neighbors(v))
+
+    def max_degree(self) -> int:
+        if not self._adjacency:
+            return 0
+        return max(len(nbrs) for nbrs in self._adjacency.values())
+
+    def are_adjacent(self, u: Node, v: Node) -> bool:
+        return v in self.neighbors(u)
+
+    # ---------------------------------------------------------- communication
+    def exchange(
+        self,
+        messages: Mapping[DirectedEdge, Any],
+        label: str = "exchange",
+    ) -> Dict[DirectedEdge, Any]:
+        """Run one synchronous round delivering per-edge directed messages.
+
+        ``messages`` maps ``(sender, receiver)`` to a payload.  The result
+        maps the same ``(sender, receiver)`` keys to the (unwrapped) payloads,
+        i.e. entry ``(u, v)`` is what ``v`` received from ``u`` this round.
+        Nodes that send nothing simply do not appear.
+
+        Raises
+        ------
+        ProtocolError
+            If a message is addressed along a non-edge.
+        BandwidthExceeded
+            If any single payload exceeds the bandwidth budget (CONGEST mode).
+        """
+        total_bits = 0
+        max_edge_bits = 0
+        delivered: Dict[DirectedEdge, Any] = {}
+        for (sender, receiver), payload in messages.items():
+            if sender == receiver:
+                raise ProtocolError(f"node {sender!r} cannot message itself")
+            if receiver not in self.neighbors(sender):
+                raise ProtocolError(
+                    f"{sender!r} and {receiver!r} are not adjacent; CONGEST only "
+                    "allows communication along edges"
+                )
+            bits = payload_bits(payload)
+            if self.mode == "congest" and bits > self.bandwidth_bits:
+                raise BandwidthExceeded(
+                    (sender, receiver), bits, self.bandwidth_bits, label
+                )
+            total_bits += bits
+            max_edge_bits = max(max_edge_bits, bits)
+            delivered[(sender, receiver)] = unwrap(payload)
+        self.ledger.record_round(label, len(delivered), total_bits, max_edge_bits)
+        return delivered
+
+    def broadcast(
+        self,
+        values: Mapping[Node, Any],
+        label: str = "broadcast",
+        senders_only_to: Optional[Mapping[Node, Iterable[Node]]] = None,
+    ) -> Dict[Node, Dict[Node, Any]]:
+        """Each node in ``values`` sends the same payload to (all) neighbours.
+
+        Returns an inbox per node: ``inbox[v][u]`` is the payload ``v``
+        received from neighbour ``u``.  ``senders_only_to`` optionally
+        restricts each sender's recipients to a subset of its neighbours.
+        """
+        messages: Dict[DirectedEdge, Any] = {}
+        for sender, payload in values.items():
+            recipients = (
+                self.neighbors(sender)
+                if senders_only_to is None or sender not in senders_only_to
+                else senders_only_to[sender]
+            )
+            for receiver in recipients:
+                if receiver not in self.neighbors(sender):
+                    raise ProtocolError(
+                        f"{sender!r} cannot broadcast to non-neighbour {receiver!r}"
+                    )
+                messages[(sender, receiver)] = payload
+        delivered = self.exchange(messages, label=label)
+        inbox: Dict[Node, Dict[Node, Any]] = {v: {} for v in self.nodes}
+        for (sender, receiver), payload in delivered.items():
+            inbox[receiver][sender] = payload
+        return inbox
+
+    def exchange_chunked(
+        self,
+        messages: Mapping[DirectedEdge, Any],
+        label: str = "exchange-chunked",
+    ) -> Dict[DirectedEdge, Any]:
+        """Deliver messages that may exceed the per-round budget.
+
+        CONGEST allows a long message to be streamed over several rounds, one
+        budget-sized chunk per round.  This helper charges
+        ``ceil(max_message_bits / budget)`` rounds (all messages stream in
+        parallel on their own edges) and then delivers the full payloads.  In
+        LOCAL mode it behaves exactly like :meth:`exchange` (one round).
+
+        The paper's primitives use this for the ``σ``-bit indicator strings of
+        ``EstimateSimilarity``/``MultiTrial``: with constant ``ε`` those are
+        ``O(log n)`` bits, i.e. a constant number of rounds, but the constant
+        depends on ``ε`` — the simulator makes that cost explicit.
+        """
+        if not messages:
+            self.ledger.record_round(label, 0, 0, 0)
+            return {}
+        sizes = {edge: payload_bits(payload) for edge, payload in messages.items()}
+        for (sender, receiver) in messages:
+            if sender == receiver:
+                raise ProtocolError(f"node {sender!r} cannot message itself")
+            if receiver not in self.neighbors(sender):
+                raise ProtocolError(
+                    f"{sender!r} and {receiver!r} are not adjacent; CONGEST only "
+                    "allows communication along edges"
+                )
+        if self.mode == "local":
+            chunk_rounds = 1
+        else:
+            max_bits = max(sizes.values())
+            chunk_rounds = max(1, math.ceil(max_bits / self.bandwidth_bits))
+        remaining = dict(sizes)
+        for _ in range(chunk_rounds):
+            round_bits = 0
+            round_max = 0
+            count = 0
+            budget = self.bandwidth_bits if self.mode == "congest" else max(remaining.values(), default=0)
+            for edge, left in list(remaining.items()):
+                if left <= 0:
+                    continue
+                sent = min(left, budget) if self.mode == "congest" else left
+                remaining[edge] = left - sent
+                round_bits += sent
+                round_max = max(round_max, sent)
+                count += 1
+            self.ledger.record_round(label, count, round_bits, round_max)
+        return {edge: unwrap(payload) for edge, payload in messages.items()}
+
+    def broadcast_chunked(
+        self,
+        values: Mapping[Node, Any],
+        label: str = "broadcast-chunked",
+    ) -> Dict[Node, Dict[Node, Any]]:
+        """Chunked variant of :meth:`broadcast` for payloads above the budget."""
+        messages: Dict[DirectedEdge, Any] = {}
+        for sender, payload in values.items():
+            for receiver in self.neighbors(sender):
+                messages[(sender, receiver)] = payload
+        delivered = self.exchange_chunked(messages, label=label)
+        inbox: Dict[Node, Dict[Node, Any]] = {v: {} for v in self.nodes}
+        for (sender, receiver), payload in delivered.items():
+            inbox[receiver][sender] = payload
+        return inbox
+
+    def charge_silent_round(self, label: str = "silent") -> None:
+        """Advance the round counter without sending anything.
+
+        Used when an algorithm must stay synchronised across phases even
+        though some nodes have nothing to say this round.
+        """
+        self.ledger.record_round(label, 0, 0, 0)
+
+    # -------------------------------------------------------------- reporting
+    def summary(self) -> Dict[str, Any]:
+        """Return a compact dictionary describing resource usage so far."""
+        return {
+            "mode": self.mode,
+            "nodes": self.number_of_nodes,
+            "edges": self.graph.number_of_edges(),
+            "bandwidth_bits": self.bandwidth_bits,
+            "rounds": self.ledger.rounds,
+            "total_bits": self.ledger.total_bits,
+            "total_messages": self.ledger.total_messages,
+            "max_edge_bits": self.ledger.max_edge_bits,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return (
+            f"Network(n={self.number_of_nodes}, m={self.graph.number_of_edges()}, "
+            f"mode={self.mode!r}, bandwidth={self.bandwidth_bits} bits, "
+            f"rounds={self.ledger.rounds})"
+        )

@@ -1,0 +1,39 @@
+"""Per-node state container used by the generic per-node-program simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+
+@dataclass
+class NodeState:
+    """Mutable state attached to a node during a simulation.
+
+    The generic simulator (``repro.congest.simulator``) keeps one of these per
+    node.  Node programs store whatever they need in :attr:`memory`; the
+    simulator itself only reads/writes :attr:`halted` and :attr:`output`.
+    """
+
+    node: Any
+    memory: Dict[str, Any] = field(default_factory=dict)
+    halted: bool = False
+    output: Optional[Any] = None
+
+    def halt(self, output: Optional[Any] = None) -> None:
+        """Mark the node as finished, optionally recording its output."""
+        self.halted = True
+        if output is not None:
+            self.output = output
+
+    def __getitem__(self, key: str) -> Any:
+        return self.memory[key]
+
+    def __setitem__(self, key: str, value: Any) -> None:
+        self.memory[key] = value
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.memory
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.memory.get(key, default)

@@ -1,0 +1,68 @@
+"""Per-node program abstraction for the generic simulator.
+
+Simple distributed algorithms (the Johansson/Luby baseline, flooding helpers,
+the triangle detector used in the examples) are most naturally written as a
+*node program*: a recipe every node runs independently, seeing only its own
+state and the messages its neighbours sent last round.  The generic
+:class:`~repro.congest.simulator.Simulator` drives such programs round by
+round on a :class:`~repro.congest.network.Network`.
+
+The heavyweight coloring pipeline (``repro.core``) is instead written directly
+against the ``Network`` primitives, because its many interleaved sub-phases
+would be unreadable in a purely event-driven style; both styles are charged by
+the same ledger.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, Mapping, Optional
+
+from repro.congest.network import Network
+from repro.congest.node import NodeState
+
+Node = Hashable
+
+
+@dataclass
+class ProgramContext:
+    """Everything a node program can see when it runs a round for a node."""
+
+    network: Network
+    node: Node
+    state: NodeState
+    rng: random.Random
+    round_index: int
+
+    @property
+    def neighbors(self) -> frozenset:
+        return self.network.neighbors(self.node)
+
+    @property
+    def degree(self) -> int:
+        return self.network.degree(self.node)
+
+
+class NodeProgram:
+    """Base class for per-node programs.
+
+    Subclasses override :meth:`init` and :meth:`step`.  In each round the
+    simulator calls :meth:`step` for every non-halted node with the messages
+    received from its neighbours in the previous round; the return value is a
+    mapping ``neighbor -> payload`` of messages to send this round (or ``None``
+    / ``{}`` to stay silent).  A node finishes by calling ``ctx.state.halt()``.
+    """
+
+    def init(self, ctx: ProgramContext) -> None:
+        """Set up per-node state before the first round."""
+
+    def step(
+        self, ctx: ProgramContext, inbox: Mapping[Node, Any]
+    ) -> Optional[Dict[Node, Any]]:
+        """Run one round for one node; return the messages to send."""
+        raise NotImplementedError
+
+    def finish(self, ctx: ProgramContext) -> Any:
+        """Produce the node's final output after it halted (or the run ended)."""
+        return ctx.state.output

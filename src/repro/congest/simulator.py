@@ -1,0 +1,106 @@
+"""Generic round-by-round driver for :class:`NodeProgram` algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Optional
+
+from repro.congest.network import Network
+from repro.congest.node import NodeState
+from repro.congest.program import NodeProgram, ProgramContext
+from repro.utils.rng import RngStream
+
+Node = Hashable
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of driving a node program to completion."""
+
+    rounds: int
+    outputs: Dict[Node, Any]
+    states: Dict[Node, NodeState] = field(repr=False, default_factory=dict)
+    halted: bool = True
+
+    def all_halted(self) -> bool:
+        return self.halted
+
+
+class Simulator:
+    """Drives a :class:`NodeProgram` synchronously on a :class:`Network`.
+
+    Parameters
+    ----------
+    network:
+        The communication substrate (CONGEST or LOCAL).
+    program:
+        The per-node program to execute.
+    seed:
+        Seed for the per-node random streams.  Each node receives its own
+        deterministic ``random.Random``, so results are reproducible and
+        independent of node iteration order.
+    """
+
+    def __init__(self, network: Network, program: NodeProgram, seed: int = 0):
+        self.network = network
+        self.program = program
+        self.rng_stream = RngStream(seed)
+        self.states: Dict[Node, NodeState] = {
+            v: NodeState(node=v) for v in network.nodes
+        }
+        self._round_index = 0
+        self._pending_inboxes: Dict[Node, Dict[Node, Any]] = {
+            v: {} for v in network.nodes
+        }
+        for v in network.nodes:
+            self.program.init(self._context(v))
+
+    def _context(self, node: Node) -> ProgramContext:
+        return ProgramContext(
+            network=self.network,
+            node=node,
+            state=self.states[node],
+            rng=self.rng_stream.for_node(node),
+            round_index=self._round_index,
+        )
+
+    def step(self, label: Optional[str] = None) -> bool:
+        """Execute one synchronous round.  Returns True if any node is active."""
+        active = [v for v in self.network.nodes if not self.states[v].halted]
+        if not active:
+            return False
+        outgoing: Dict[tuple, Any] = {}
+        for v in active:
+            ctx = self._context(v)
+            sends = self.program.step(ctx, self._pending_inboxes.get(v, {}))
+            if not sends:
+                continue
+            for receiver, payload in sends.items():
+                outgoing[(v, receiver)] = payload
+        delivered = self.network.exchange(
+            outgoing, label=label or type(self.program).__name__
+        )
+        next_inboxes: Dict[Node, Dict[Node, Any]] = {v: {} for v in self.network.nodes}
+        for (sender, receiver), payload in delivered.items():
+            next_inboxes[receiver][sender] = payload
+        self._pending_inboxes = next_inboxes
+        self._round_index += 1
+        return any(not self.states[v].halted for v in self.network.nodes)
+
+    def run(self, max_rounds: int = 10_000, label: Optional[str] = None) -> SimulationResult:
+        """Run until every node halts or ``max_rounds`` rounds have elapsed."""
+        halted = True
+        for _ in range(max_rounds):
+            if not self.step(label=label):
+                break
+        else:
+            halted = all(self.states[v].halted for v in self.network.nodes)
+        outputs = {
+            v: self.program.finish(self._context(v)) for v in self.network.nodes
+        }
+        return SimulationResult(
+            rounds=self._round_index,
+            outputs=outputs,
+            states=dict(self.states),
+            halted=halted,
+        )

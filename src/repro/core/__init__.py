@@ -1,0 +1,41 @@
+"""The paper's primary contribution: ultrafast (degree+1)-list-coloring in CONGEST.
+
+The public entry points are:
+
+* :func:`repro.core.d1lc.solve_d1lc` — full D1LC pipeline (Theorem 1),
+* :func:`repro.core.d1lc.solve_d1c` — (deg+1)-coloring (Corollary 1),
+* :func:`repro.core.d1lc.solve_delta_plus_one` — (Δ+1)-coloring,
+* :class:`repro.core.params.ColoringParameters` — every constant of the paper,
+* the individual subroutines (MultiTrial, SlackColor, ACD, ...) for users who
+  want to compose them differently.
+"""
+
+from repro.core.params import ColoringParameters
+from repro.core.problem import ColoringInstance, ColorSpace
+from repro.core.validate import ColoringReport, validate_coloring
+from repro.core.state import ColoringState, ColoringResult
+from repro.core.acd import ACDResult, compute_acd
+from repro.core.multitrial import multi_trial
+from repro.core.slack import generate_slack, try_color, try_random_color
+from repro.core.slack_color import slack_color
+from repro.core.d1lc import solve_d1lc, solve_d1c, solve_delta_plus_one
+
+__all__ = [
+    "ColoringParameters",
+    "ColoringInstance",
+    "ColorSpace",
+    "ColoringReport",
+    "validate_coloring",
+    "ColoringState",
+    "ColoringResult",
+    "ACDResult",
+    "compute_acd",
+    "multi_trial",
+    "generate_slack",
+    "try_color",
+    "try_random_color",
+    "slack_color",
+    "solve_d1lc",
+    "solve_d1c",
+    "solve_delta_plus_one",
+]

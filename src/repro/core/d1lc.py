@@ -1,0 +1,135 @@
+"""Top-level (degree+1)-list-coloring driver (Theorem 1, Algorithm 7).
+
+The full algorithm repeatedly runs the per-degree-range pipeline — compute an
+almost-clique decomposition of the currently relevant nodes, color the sparse
+and uneven ones (Algorithm 8), then the dense ones (Algorithm 9) — and
+finishes the (w.h.p. small, shattered) leftovers with a deterministic
+fallback.  The paper schedules the pipeline over ``O(log* n)`` degree ranges
+``[log^7 x, x]``; with laptop-scale degrees every range collapses to "all
+nodes of degree above a small cutoff", so the driver simply iterates the
+pipeline on the uncolored nodes above the cutoff until no progress is made
+(``max_phase_iterations`` bounds the loop), which preserves both the round
+structure and the bandwidth accounting.  See DESIGN.md for the substitution
+notes.
+
+Public entry points:
+
+* :func:`solve_d1lc` — general list-coloring,
+* :func:`solve_d1c` — (deg+1)-coloring (Corollary 1),
+* :func:`solve_delta_plus_one` — (Δ+1)-coloring.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Mapping, Optional
+
+import networkx as nx
+
+from repro.congest.network import Network
+from repro.core.acd import compute_acd
+from repro.core.dense_phase import run_dense_phase
+from repro.core.params import ColoringParameters
+from repro.core.problem import ColoringInstance, ColorSpace
+from repro.core.shattering import deterministic_fallback
+from repro.core.sparse_phase import run_sparse_phase
+from repro.core.state import ColoringResult, ColoringState
+from repro.core.validate import validate_coloring
+from repro.metrics.ledger import rounds_by_phase
+
+Node = Hashable
+Color = Hashable
+
+
+def _build_result(state: ColoringState, fallback_count: int) -> ColoringResult:
+    network = state.network
+    report = validate_coloring(state.instance, state.colors)
+    return ColoringResult(
+        coloring=dict(state.colors),
+        report=report,
+        rounds=network.ledger.rounds,
+        rounds_by_phase=rounds_by_phase(network),
+        total_bits=network.ledger.total_bits,
+        max_edge_bits=network.ledger.max_edge_bits,
+        bandwidth_bits=network.bandwidth_bits,
+        fallback_nodes=fallback_count,
+        parameters=state.params,
+        mode=network.mode,
+    )
+
+
+def solve_instance(
+    instance: ColoringInstance,
+    params: Optional[ColoringParameters] = None,
+    mode: str = "congest",
+    bandwidth_bits: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> ColoringResult:
+    """Run the full D1LC pipeline on a prepared instance."""
+    params = params or ColoringParameters.small()
+    if seed is not None:
+        params = params.with_seed(seed)
+    network = Network(instance.graph, mode=mode, bandwidth_bits=bandwidth_bits)
+    state = ColoringState(instance, network, params)
+
+    for _iteration in range(max(1, params.max_phase_iterations)):
+        active = {
+            v for v in state.uncolored_nodes()
+            if state.uncolored_degree(v) >= params.low_degree_cutoff
+        }
+        if not active:
+            break
+        uncolored_before = len(state.uncolored_nodes())
+        acd = compute_acd(network, params, active=active)
+        run_sparse_phase(state, acd, label="sparse")
+        run_dense_phase(state, acd, label="dense")
+        if len(state.uncolored_nodes()) >= uncolored_before:
+            break  # no progress; hand the rest to the fallback
+
+    fallback_colored = deterministic_fallback(state, label="fallback")
+    return _build_result(state, fallback_count=len(fallback_colored))
+
+
+def solve_d1lc(
+    graph: nx.Graph,
+    lists: Optional[Mapping[Node, Iterable[Color]]] = None,
+    params: Optional[ColoringParameters] = None,
+    mode: str = "congest",
+    bandwidth_bits: Optional[int] = None,
+    seed: Optional[int] = None,
+    color_space: Optional[ColorSpace] = None,
+) -> ColoringResult:
+    """Solve (degree+1)-list-coloring on ``graph`` (Theorem 1).
+
+    ``lists`` maps every node to its palette (at least ``d_v + 1`` colors); if
+    omitted, the numeric D1C palettes ``{0..d_v}`` are used.  ``mode`` selects
+    CONGEST (default) or LOCAL bandwidth accounting.
+    """
+    if lists is None:
+        instance = ColoringInstance.d1c(graph)
+    else:
+        instance = ColoringInstance.d1lc(graph, lists, color_space=color_space)
+    return solve_instance(
+        instance, params=params, mode=mode, bandwidth_bits=bandwidth_bits, seed=seed
+    )
+
+
+def solve_d1c(
+    graph: nx.Graph,
+    params: Optional[ColoringParameters] = None,
+    mode: str = "congest",
+    seed: Optional[int] = None,
+) -> ColoringResult:
+    """Solve (deg+1)-coloring (Corollary 1)."""
+    return solve_instance(ColoringInstance.d1c(graph), params=params, mode=mode, seed=seed)
+
+
+def solve_delta_plus_one(
+    graph: nx.Graph,
+    params: Optional[ColoringParameters] = None,
+    mode: str = "congest",
+    seed: Optional[int] = None,
+) -> ColoringResult:
+    """Solve (Δ+1)-coloring with the same pipeline."""
+    return solve_instance(
+        ColoringInstance.delta_plus_one(graph), params=params, mode=mode, seed=seed
+    )

@@ -1,0 +1,105 @@
+"""Coloring the dense nodes (Algorithm 9).
+
+Dense nodes live in almost-cliques, where random color trials mostly collide;
+the algorithm therefore coordinates them through a leader:
+
+1. pick a leader, inliers and outliers per clique (Appendix D.1);
+2. ``GenerateSlack`` among the dense nodes;
+3. low-slack cliques sample a put-aside set ``P_C`` (Algorithm 13) whose
+   members wait until the very end, handing everyone else temporary slack;
+4. ``SlackColor`` the outliers (their neighbourhoods are irregular enough that
+   they behave like sparse nodes);
+5. ``SynchColorTrial``: the leader deals distinct palette colors to the
+   uncolored inliers, eliminating in-clique collisions;
+6. ``SlackColor`` the remaining dense nodes (now slack-rich thanks to the
+   put-aside sets and the synchronized trial);
+7. the leaders collect the put-aside palettes and color ``P_C`` (Appendix D.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Set
+
+from repro.core.acd import ACDResult
+from repro.core.leader import LeaderInfo, select_leaders
+from repro.core.putaside import color_put_aside, compute_put_aside
+from repro.core.slack import generate_slack
+from repro.core.slack_color import slack_color
+from repro.core.state import ColoringState
+from repro.core.synch_trial import synch_color_trial
+
+Node = Hashable
+
+
+@dataclass
+class DensePhaseOutcome:
+    """Bookkeeping of one dense phase."""
+
+    colored: Set[Node] = field(default_factory=set)
+    leftover: Set[Node] = field(default_factory=set)
+    leaders: Dict[int, LeaderInfo] = field(default_factory=dict)
+    put_aside: Dict[int, Set[Node]] = field(default_factory=dict)
+
+
+def run_dense_phase(
+    state: ColoringState,
+    acd: ACDResult,
+    label: str = "dense",
+) -> DensePhaseOutcome:
+    """Color the dense nodes of the current ACD (Algorithm 9)."""
+    outcome = DensePhaseOutcome()
+    params = state.params
+    dense_nodes = {v for v in acd.dense_nodes if not state.is_colored(v)}
+    if not dense_nodes:
+        return outcome
+
+    # Step 1: leaders, inliers, outliers.
+    outcome.leaders = select_leaders(state, acd, label=f"{label}:leader")
+
+    # Step 2: slack generation among dense nodes.
+    colored_now = generate_slack(state, dense_nodes, label=f"{label}:slack")
+    outcome.colored |= colored_now
+
+    # Step 3: put-aside sets in low-slack almost-cliques.
+    outcome.put_aside = compute_put_aside(state, outcome.leaders, label=f"{label}:put-aside")
+    put_aside_nodes: Set[Node] = set()
+    for members in outcome.put_aside.values():
+        put_aside_nodes |= members
+
+    delta = max(1, state.instance.max_degree())
+    ell = params.ell(delta)
+    s_min = max(4, int(min(ell, max(4.0, delta / 8.0))))
+
+    # Step 4: color the outliers.
+    outliers: Set[Node] = set()
+    for info in outcome.leaders.values():
+        outliers |= {v for v in info.outliers | {info.leader} if not state.is_colored(v)}
+    if outliers:
+        outlier_outcome = slack_color(state, outliers, s_min=s_min, label=f"{label}:outliers")
+        outcome.colored |= outlier_outcome.colored
+        outcome.leftover |= outlier_outcome.dropped
+
+    # Step 5: synchronized color trial dealt by the leaders.
+    outcome.colored |= synch_color_trial(
+        state, outcome.leaders, exclude=put_aside_nodes, label=f"{label}:synch"
+    )
+
+    # Step 6: SlackColor the remaining (non-put-aside) dense nodes.
+    remaining = {
+        v for v in dense_nodes
+        if not state.is_colored(v) and v not in put_aside_nodes
+    }
+    if remaining:
+        rest_outcome = slack_color(state, remaining, s_min=s_min, label=f"{label}:rest")
+        outcome.colored |= rest_outcome.colored
+        outcome.leftover |= rest_outcome.dropped
+
+    # Step 7: the leaders color the put-aside sets.
+    outcome.colored |= color_put_aside(
+        state, outcome.leaders, outcome.put_aside, label=f"{label}:put-aside-color"
+    )
+
+    outcome.leftover = {v for v in outcome.leftover if not state.is_colored(v)}
+    outcome.leftover |= {v for v in dense_nodes if not state.is_colored(v)}
+    return outcome

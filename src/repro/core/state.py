@@ -1,0 +1,146 @@
+"""Mutable execution state of the coloring pipeline, shared by all subroutines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Optional, Set
+
+from repro.congest.network import Network
+from repro.core.large_colors import ColorHasher
+from repro.core.params import ColoringParameters
+from repro.core.problem import ColoringInstance
+from repro.core.validate import ColoringReport, validate_coloring
+from repro.utils.rng import RngStream
+
+Node = Hashable
+Color = Hashable
+
+
+class ColoringState:
+    """Everything the coloring subroutines read and update.
+
+    The state owns the (mutable) palettes, the partial coloring, the per-node
+    original palettes (needed for chromatic slack), and the color hasher that
+    decides how colors travel over the network.  All communication still goes
+    through :attr:`network`, so the ledger keeps measuring rounds and bits.
+    """
+
+    def __init__(
+        self,
+        instance: ColoringInstance,
+        network: Network,
+        params: Optional[ColoringParameters] = None,
+        seed: Optional[int] = None,
+    ):
+        self.instance = instance
+        self.network = network
+        self.params = params or ColoringParameters.small()
+        self.rng = RngStream(self.params.seed if seed is None else seed)
+        self.colors: Dict[Node, Optional[Color]] = {v: None for v in instance.nodes}
+        self.palettes: Dict[Node, Set[Color]] = {
+            v: set(instance.palettes[v]) for v in instance.nodes
+        }
+        self.original_palettes = {v: frozenset(instance.palettes[v]) for v in instance.nodes}
+        self._uncolored: Set[Node] = set(instance.nodes)
+        self.hasher = ColorHasher(network, instance.color_space, self.params, self.rng)
+        self.hasher.setup()
+        #: chromatic slack κ_v: neighbours colored outside v's original palette
+        #: during GenerateSlack (Definition 7); updated by the slack routines.
+        self.chromatic_slack: Dict[Node, int] = {v: 0 for v in instance.nodes}
+
+    # --------------------------------------------------------------- basic views
+    @property
+    def nodes(self) -> List[Node]:
+        return self.instance.nodes
+
+    def is_colored(self, v: Node) -> bool:
+        return self.colors[v] is not None
+
+    def uncolored_nodes(self) -> Set[Node]:
+        return set(self._uncolored)
+
+    def uncolored_degree(self, v: Node) -> int:
+        return sum(1 for u in self.network.neighbors(v) if u in self._uncolored)
+
+    def uncolored_neighbors(self, v: Node) -> Set[Node]:
+        return {u for u in self.network.neighbors(v) if u in self._uncolored}
+
+    def palette(self, v: Node) -> Set[Color]:
+        return self.palettes[v]
+
+    def slack(self, v: Node) -> int:
+        """Current slack: available colors minus uncolored neighbours."""
+        return len(self.palettes[v]) - self.uncolored_degree(v)
+
+    # ------------------------------------------------------------------ mutation
+    def adopt(self, v: Node, color: Color) -> None:
+        """Permanently color ``v`` with ``color`` (local bookkeeping only).
+
+        Neighbours learn about the adoption through the broadcast performed by
+        the calling subroutine; this method only records the decision.
+        """
+        if self.colors[v] is not None:
+            raise ValueError(f"node {v!r} is already colored")
+        if color not in self.palettes[v]:
+            raise ValueError(f"color {color!r} is not in the palette of {v!r}")
+        self.colors[v] = color
+        self._uncolored.discard(v)
+
+    def remove_from_palette(self, v: Node, encoded_value: Hashable) -> None:
+        """Remove the color matching ``encoded_value`` from ``v``'s palette."""
+        self.hasher.remove_matching(v, self.palettes[v], encoded_value)
+
+    def note_chromatic_slack(self, v: Node, neighbor_color_outside_palette: bool) -> None:
+        if neighbor_color_outside_palette:
+            self.chromatic_slack[v] += 1
+
+    # ----------------------------------------------------------------- reporting
+    def report(self) -> ColoringReport:
+        return validate_coloring(self.instance, self.colors)
+
+
+@dataclass
+class ColoringResult:
+    """Final outcome of a coloring run: the coloring plus resource accounting."""
+
+    coloring: Dict[Node, Optional[Color]]
+    report: ColoringReport
+    rounds: int
+    rounds_by_phase: Dict[str, int]
+    total_bits: int
+    max_edge_bits: int
+    bandwidth_bits: int
+    fallback_nodes: int
+    parameters: ColoringParameters
+    mode: str
+
+    @property
+    def is_valid(self) -> bool:
+        return self.report.is_valid
+
+    @property
+    def randomized_rounds(self) -> int:
+        """Rounds excluding the deterministic post-shattering fallback.
+
+        The paper's round bounds apply to the randomized part; the fallback
+        colors the (w.h.p. poly-log sized) leftover components and its cost is
+        reported separately.
+        """
+        fallback = sum(
+            count for phase, count in self.rounds_by_phase.items() if phase.startswith("fallback")
+        )
+        return self.rounds - fallback
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "valid": self.is_valid,
+            "colored": self.report.colored_nodes,
+            "nodes": self.report.total_nodes,
+            "rounds": self.rounds,
+            "randomized_rounds": self.randomized_rounds,
+            "fallback_nodes": self.fallback_nodes,
+            "total_bits": self.total_bits,
+            "max_edge_bits": self.max_edge_bits,
+            "bandwidth_bits": self.bandwidth_bits,
+            "mode": self.mode,
+        }

@@ -1,0 +1,49 @@
+"""Stable integer keys and fast mixing for arbitrary hashable elements.
+
+All hash families in this package operate on integers internally.  Elements of
+the universes we hash (colors, node identifiers, neighbourhood members) may be
+arbitrary hashable Python objects, so we first map them to a stable 64-bit key
+(:func:`element_key`) and then mix that key with the family seed and member
+index using a splitmix64-style finaliser (:func:`mix64`).
+
+``element_key`` is deterministic across processes (it does not rely on
+Python's randomised ``hash``), which keeps simulations reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from functools import lru_cache
+
+_MASK64 = (1 << 64) - 1
+
+
+def mix64(*values: int) -> int:
+    """Mix integers into a 64-bit value with good avalanche behaviour."""
+    acc = 0x9E3779B97F4A7C15
+    for value in values:
+        acc = (acc ^ (value & _MASK64)) & _MASK64
+        # splitmix64 finaliser
+        acc = (acc + 0x9E3779B97F4A7C15) & _MASK64
+        z = acc
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+        acc = (z ^ (z >> 31)) & _MASK64
+    return acc
+
+
+@lru_cache(maxsize=1 << 18)
+def _key_of_repr(text: str) -> int:
+    digest = hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+def element_key(element: object) -> int:
+    """Return a stable 64-bit integer key for ``element``."""
+    if isinstance(element, bool):
+        return int(element)
+    if isinstance(element, int):
+        return element & _MASK64 if element >= 0 else mix64(-element, 0x5A5A5A5A)
+    if isinstance(element, tuple):
+        return mix64(*(element_key(part) for part in element), 0x7157)
+    return _key_of_repr(repr(element))

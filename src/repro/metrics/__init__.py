@@ -1,0 +1,12 @@
+"""Experiment metrics, validity checking and reporting helpers."""
+
+from repro.metrics.ledger import ExperimentRecord, RoundBudgetCheck, summarize_ledger
+from repro.metrics.report import format_table, format_series
+
+__all__ = [
+    "ExperimentRecord",
+    "RoundBudgetCheck",
+    "summarize_ledger",
+    "format_table",
+    "format_series",
+]

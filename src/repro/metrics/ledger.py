@@ -1,0 +1,59 @@
+"""Experiment-level accounting built on top of the network ledger."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.congest.network import BandwidthLedger, Network
+
+
+@dataclass
+class RoundBudgetCheck:
+    """Did an execution stay within the CONGEST bandwidth budget?"""
+
+    bandwidth_bits: int
+    max_edge_bits: int
+
+    @property
+    def respected(self) -> bool:
+        return self.max_edge_bits <= self.bandwidth_bits
+
+
+@dataclass
+class ExperimentRecord:
+    """One measurement row of an experiment (one workload/parameter point)."""
+
+    name: str
+    parameters: Dict[str, object] = field(default_factory=dict)
+    measurements: Dict[str, float] = field(default_factory=dict)
+
+    def as_row(self) -> Dict[str, object]:
+        row: Dict[str, object] = {"experiment": self.name}
+        row.update(self.parameters)
+        row.update(self.measurements)
+        return row
+
+
+def summarize_ledger(network: Network) -> Dict[str, float]:
+    """Extract the headline resource numbers from a network's ledger."""
+    ledger: BandwidthLedger = network.ledger
+    return {
+        "rounds": float(ledger.rounds),
+        "total_bits": float(ledger.total_bits),
+        "total_messages": float(ledger.total_messages),
+        "max_edge_bits": float(ledger.max_edge_bits),
+        "bandwidth_bits": float(network.bandwidth_bits),
+        "bits_per_round_per_edge": (
+            ledger.total_bits / max(1, ledger.rounds) / max(1, network.graph.number_of_edges())
+        ),
+    }
+
+
+def rounds_by_phase(network: Network, prefix_split: str = ":") -> Dict[str, int]:
+    """Aggregate round counts by phase label prefix (the part before ``:``)."""
+    totals: Dict[str, int] = {}
+    for label, count in network.ledger.rounds_by_label().items():
+        phase = label.split(prefix_split, 1)[0]
+        totals[phase] = totals.get(phase, 0) + count
+    return totals

@@ -1,0 +1,48 @@
+"""Plain-text table formatting for the benchmark harness.
+
+``pytest-benchmark`` measures wall-clock time; the quantities the paper talks
+about (rounds, bits, success probabilities, accuracy) are printed by the
+benchmarks themselves using these helpers, so that running
+``pytest benchmarks/ --benchmark-only`` reproduces the series recorded in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+
+def _render(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Mapping[str, object]], title: str = "") -> str:
+    """Format a list of dict rows as an aligned ASCII table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    rendered = [[_render(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append(" | ".join(r[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def format_series(x_label: str, y_label: str, points: Iterable[tuple], title: str = "") -> str:
+    """Format an (x, y) series as a two-column table."""
+    rows = [{x_label: x, y_label: y} for x, y in points]
+    return format_table(rows, title=title)

@@ -1,0 +1,179 @@
+"""Sampling from set differences, two-party and multi-party (Section 2).
+
+Besides intersections, the paper's technique lets parties sample from
+*differences*: an element of ``X \\ Y`` is an element of ``X`` whose hash value
+is not taken by any element of ``Y`` (restricting attention to the low window
+``[σ]`` keeps the exchanged information to ``σ`` bits).  The multi-party form —
+a node samples elements of its own set that no *neighbour's* set contains — is
+exactly the engine inside ``MultiTrial``: the node's set is its palette and the
+neighbours' sets are the colors they are trying.
+
+Two interfaces are provided:
+
+* :func:`sample_from_difference` — the two-party protocol in isolation
+  (returns the sampled elements and the exact bit cost);
+* :func:`sample_private_elements` — the multi-party protocol on a
+  :class:`~repro.congest.network.Network`: every participating node samples up
+  to ``count`` elements of its own set that none of its neighbours' sets
+  contain, in O(1) (chunked) rounds.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Set
+
+from repro.congest.bandwidth import bitstring_message, index_message
+from repro.congest.message import Message
+from repro.congest.network import Network
+from repro.hashing.representative import RepresentativeHashFamily
+from repro.hashing.setops import unique_part
+from repro.sampling.similarity import SimilarityParameters, _scaled
+from repro.utils.rng import RngStream
+
+Node = Hashable
+
+
+@dataclass
+class DifferenceSampleResult:
+    """Outcome of one two-party difference-sampling execution."""
+
+    elements: List[Hashable]
+    bits_exchanged: int
+    candidate_count: int
+
+    @property
+    def empty(self) -> bool:
+        return not self.elements
+
+
+def sample_from_difference(
+    own: Iterable[Hashable],
+    other: Iterable[Hashable],
+    count: int = 1,
+    params: SimilarityParameters = SimilarityParameters(),
+    rng: Optional[random.Random] = None,
+) -> DifferenceSampleResult:
+    """Sample up to ``count`` elements of ``own \\ other`` (two-party protocol).
+
+    The owner of ``own`` picks the shared hash function; the owner of ``other``
+    answers with the ``σ``-bit indicator of the hash values its elements
+    occupy; the sampler then draws uniformly among its own unique-low-hash
+    elements whose value is unoccupied.  Every returned element is guaranteed
+    to lie outside ``other`` *unless* a hash collision hid an occupied value —
+    with the Lemma 1 parameters that happens with probability ``O(β)``.
+    """
+    if count < 1:
+        raise ValueError("count must be at least 1")
+    own, other = set(own), set(other)
+    rng = rng or random.Random(params.seed)
+    if not own:
+        return DifferenceSampleResult(elements=[], bits_exchanged=1, candidate_count=0)
+
+    max_size = max(len(own), len(other), 1)
+    k = params.scale_factor(max_size)
+    scaled_own = _scaled(own, k)
+    scaled_other = _scaled(other, k)
+    family = params.family(max_size * k, label="difference-sample")
+    index = family.sample_index(rng)
+    h = family.member(index)
+    sigma = family.sigma
+
+    own_unique = unique_part(h, scaled_own, scaled_own, sigma)
+    occupied = {h(x) for x in scaled_other if h(x) <= sigma}
+    candidates = sorted((x for x in own_unique if h(x) not in occupied), key=repr)
+    picked = rng.sample(candidates, min(count, len(candidates))) if candidates else []
+    if k > 1:
+        picked = [element[0] for element in picked]
+    return DifferenceSampleResult(
+        elements=picked,
+        bits_exchanged=family.index_bits + sigma,
+        candidate_count=len(candidates),
+    )
+
+
+def sample_private_elements(
+    network: Network,
+    sets: Mapping[Node, Set[Hashable]],
+    count: int = 1,
+    participants: Optional[Iterable[Node]] = None,
+    lambda_factor: int = 6,
+    sigma: int = 256,
+    universe_size: int = 1 << 20,
+    nu: float = 0.1,
+    seed: int = 0,
+    label: str = "difference-sample",
+) -> Dict[Node, List[Hashable]]:
+    """Every participant samples elements of its set outside all neighbours' sets.
+
+    This is the multi-party difference sampling of Section 2 ("a party samples
+    an element in the difference between her set and the union of all her
+    neighbors' sets"), implemented with one hash-index broadcast plus one
+    chunked ``σ``-bit indicator exchange — the same communication pattern as
+    MultiTrial, but over arbitrary sets rather than palettes.
+
+    Returns, per participant, a (possibly shorter than ``count``) list of
+    elements of its own set; with the representative-family guarantees each
+    returned element lies outside every neighbour's set except with the small
+    collision probability of Lemma 1.
+    """
+    if count < 1:
+        raise ValueError("count must be at least 1")
+    participants = [
+        v for v in (participants if participants is not None else network.nodes)
+        if sets.get(v)
+    ]
+    stream = RngStream(seed)
+    if not participants:
+        network.charge_silent_round(label=f"{label}:setup")
+        network.charge_silent_round(label=f"{label}:indicator")
+        return {}
+    participating = set(participants)
+
+    # Round 1: every participant announces (λ_v, hash index).
+    lam_of: Dict[Node, int] = {}
+    hash_of: Dict[Node, object] = {}
+    sigma_of: Dict[Node, int] = {}
+    setup: Dict[Node, Message] = {}
+    for v in participants:
+        lam = max(2, lambda_factor * len(sets[v]))
+        family = RepresentativeHashFamily(
+            universe_label=label, universe_size=universe_size, lam=lam,
+            alpha=1 / 12, beta=1 / 3, nu=nu, seed=seed,
+        )
+        index = family.sample_index(stream.for_node(v, label))
+        lam_of[v] = lam
+        hash_of[v] = family.member(index)
+        sigma_of[v] = min(sigma, lam)
+        setup[v] = Message(
+            content=(lam, index),
+            bits=max(1, lam.bit_length()) + family.index_bits,
+            label=f"{label}:setup",
+        )
+    network.broadcast(setup, label=f"{label}:setup")
+
+    # Round 2: each neighbour u of a participant v reports which of v's low
+    # hash values its own set occupies (σ_v-bit indicator, chunked).
+    indicator_messages = {}
+    for v in participants:
+        h_v, sigma_v = hash_of[v], sigma_of[v]
+        for u in network.neighbors(v):
+            occupied = {h_v(x) for x in sets.get(u, ()) if h_v(x) <= sigma_v}
+            bits = [1 if value in occupied else 0 for value in range(1, sigma_v + 1)]
+            indicator_messages[(u, v)] = bitstring_message(bits, label=f"{label}:indicator")
+    delivered = network.exchange_chunked(indicator_messages, label=f"{label}:indicator")
+
+    blocked: Dict[Node, Set[int]] = {v: set() for v in participants}
+    for (sender, receiver), payload in delivered.items():
+        if receiver in blocked:
+            blocked[receiver] |= {i + 1 for i, bit in enumerate(payload) if bit}
+
+    samples: Dict[Node, List[Hashable]] = {}
+    for v in participants:
+        h_v, sigma_v = hash_of[v], sigma_of[v]
+        own_unique = unique_part(h_v, sets[v], sets[v], sigma_v)
+        candidates = sorted((x for x in own_unique if h_v(x) not in blocked[v]), key=repr)
+        rng = stream.for_node(v, label, "pick")
+        samples[v] = rng.sample(candidates, min(count, len(candidates))) if candidates else []
+    return samples

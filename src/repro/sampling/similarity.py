@@ -1,0 +1,275 @@
+"""``EstimateSimilarity`` (Algorithm 1 of the paper).
+
+Two endpoints of an edge hold sets ``S_u`` and ``S_v`` from a common universe
+and want an estimate of ``|S_u ∩ S_v|`` accurate to ``ε·max(|S_u|, |S_v|)``
+using a constant number of small messages.  The protocol:
+
+1. if either set is empty, return 0;
+2. scale both sets up by a factor ``k`` (Cartesian product with ``[k]``) so
+   the representative-family hypotheses of Lemma 1 hold even for small sets;
+3. agree on a random member ``h`` of a representative family with parameters
+   ``λ = 8·max/ε``, ``β = ε/4``, ``α = ε²/8`` (one ``log F``-bit message);
+4. each endpoint sends the ``σ``-bit indicator of ``h(T)`` for
+   ``T = S ¬_h S`` (its elements with a unique low hash value);
+5. output ``|h(T_u) ∩ h(T_v)| · λ / (σ·k)``.
+
+Lemma 2 shows the output is within ``ε·max(|S_u|, |S_v|)`` of the truth with
+probability ``1 − ν``, at a cost of ``O(ε^{-4}·log(1/ν) + log log|U| +
+log max(|S_u|,|S_v|))`` bits.
+
+Two interfaces are provided: :func:`estimate_similarity` runs the two-party
+protocol in isolation (returning the estimate and exact bit cost; used by the
+unit tests and the accuracy benchmarks), and
+:func:`estimate_similarity_on_edges` runs it simultaneously on every requested
+edge of a :class:`~repro.congest.network.Network`, charging the messages to
+the network ledger — this is the form used by sparsity estimation, ACD
+computation and triangle/4-cycle detection.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, Iterable, Mapping, Optional, Set, Tuple
+
+from repro.congest.bandwidth import bitstring_message, index_message
+from repro.congest.network import Network
+from repro.hashing.representative import RepresentativeHashFamily
+from repro.hashing.setops import unique_part
+from repro.utils.rng import RngStream
+
+Node = Hashable
+Edge = Tuple[Node, Node]
+
+
+@dataclass(frozen=True)
+class SimilarityParameters:
+    """Tunable parameters of ``EstimateSimilarity``.
+
+    ``eps`` and ``nu`` are the accuracy and failure probability of Lemma 2.
+    ``scale_constant`` is the ``96·ln(12/ν)`` factor in the definition of the
+    scale-up factor ``k`` (step 2 of Algorithm 1); ``max_scale`` caps ``k`` so
+    that graph-wide sweeps on a laptop stay tractable (the paper has no such
+    cap — it is a pure running-time knob of the simulation, recorded in
+    DESIGN.md, and the default of ``None`` reproduces the paper exactly).
+    """
+
+    eps: float = 0.25
+    nu: float = 0.05
+    scale_constant: float = 96.0
+    max_scale: Optional[int] = None
+    sigma_cap: Optional[int] = None
+    universe_size: int = 1 << 20
+    seed: int = 0
+
+    @classmethod
+    def practical(cls, eps: float = 0.3, nu: float = 0.1, seed: int = 0) -> "SimilarityParameters":
+        """Laptop-scale preset used by the graph-wide primitives.
+
+        The paper's constants (``k``'s ``96·ε^{-3}·ln(12/ν)`` scale-up and
+        ``σ = Θ(ε^{-4} log(1/ν))``) are asymptotically tight but enormous for
+        per-edge sweeps over thousands of edges in a Python simulation.  This
+        preset caps the scale-up factor and ``σ``; the protocol and its
+        communication pattern are unchanged, only the concentration constants
+        shrink.  DESIGN.md records this as a simulation knob.
+        """
+        return cls(eps=eps, nu=nu, max_scale=4, sigma_cap=1024, seed=seed)
+
+    def __post_init__(self):
+        if not 0 < self.eps < 1:
+            raise ValueError(f"eps must be in (0, 1), got {self.eps}")
+        if not 0 < self.nu < 1:
+            raise ValueError(f"nu must be in (0, 1), got {self.nu}")
+        if self.scale_constant <= 0:
+            raise ValueError("scale_constant must be positive")
+
+    def scale_factor(self, max_size: int) -> int:
+        """The scale-up factor ``k`` of Algorithm 1, step 2."""
+        if max_size <= 0:
+            return 1
+        k = math.ceil(
+            self.scale_constant * self.eps ** -3 * math.log(12.0 / self.nu) / max_size
+        )
+        k = max(1, int(k))
+        if self.max_scale is not None:
+            k = min(k, max(1, int(self.max_scale)))
+        return k
+
+    def family(self, max_size: int, label: str = "similarity") -> RepresentativeHashFamily:
+        """The representative family of Algorithm 1, step 4."""
+        lam = max(2, int(math.ceil(8.0 * max_size / self.eps)))
+        return RepresentativeHashFamily(
+            universe_label=label,
+            universe_size=self.universe_size,
+            lam=lam,
+            alpha=self.eps ** 2 / 8.0,
+            beta=self.eps / 4.0,
+            nu=self.nu,
+            seed=self.seed,
+            sigma_cap=self.sigma_cap,
+        )
+
+
+@dataclass
+class SimilarityResult:
+    """Outcome of one two-party ``EstimateSimilarity`` execution."""
+
+    estimate: float
+    bits_exchanged: int
+    scale_factor: int
+    sigma: int
+    lam: int
+    shared_hash_values: FrozenSet[int]
+
+    def error_against(self, true_intersection: int) -> float:
+        return abs(self.estimate - true_intersection)
+
+
+def _scaled(elements: Iterable[Hashable], k: int) -> Set[Hashable]:
+    """Cartesian product ``S × [k]`` used to scale small sets up (step 3)."""
+    if k <= 1:
+        return set(elements)
+    return {(x, j) for x in elements for j in range(k)}
+
+
+def _low_unique_hashes(h, elements: Set[Hashable], sigma: int) -> Set[int]:
+    """Hash values (``<= sigma``) hit by exactly one element of ``elements``."""
+    survivors = unique_part(h, elements, elements, sigma)
+    return {h(x) for x in survivors}
+
+
+def estimate_similarity(
+    set_u: Iterable[Hashable],
+    set_v: Iterable[Hashable],
+    params: SimilarityParameters = SimilarityParameters(),
+    rng: Optional[random.Random] = None,
+) -> SimilarityResult:
+    """Run the two-party protocol of Algorithm 1 and return its estimate.
+
+    The returned :class:`SimilarityResult` includes the exact number of bits
+    the two parties exchanged (hash-family index + two ``σ``-bit indicator
+    strings), which the bandwidth benchmarks compare against Lemma 2's bound.
+    """
+    set_u, set_v = set(set_u), set(set_v)
+    if not set_u or not set_v:
+        return SimilarityResult(
+            estimate=0.0,
+            bits_exchanged=1,
+            scale_factor=1,
+            sigma=0,
+            lam=0,
+            shared_hash_values=frozenset(),
+        )
+    rng = rng or random.Random(params.seed)
+    max_size = max(len(set_u), len(set_v))
+    k = params.scale_factor(max_size)
+    scaled_u, scaled_v = _scaled(set_u, k), _scaled(set_v, k)
+    family = params.family(max_size * k)
+    index = family.sample_index(rng)
+    h = family.member(index)
+    sigma = family.sigma
+
+    hashes_u = _low_unique_hashes(h, scaled_u, sigma)
+    hashes_v = _low_unique_hashes(h, scaled_v, sigma)
+    shared = frozenset(hashes_u & hashes_v)
+    estimate = len(shared) * family.lam / (sigma * k)
+
+    bits = family.index_bits + 2 * sigma
+    return SimilarityResult(
+        estimate=estimate,
+        bits_exchanged=bits,
+        scale_factor=k,
+        sigma=sigma,
+        lam=family.lam,
+        shared_hash_values=shared,
+    )
+
+
+def estimate_similarity_on_edges(
+    network: Network,
+    sets: Mapping[Node, Set[Hashable]],
+    edges: Optional[Iterable[Edge]] = None,
+    params: SimilarityParameters = SimilarityParameters(),
+    seed: int = 0,
+    label: str = "estimate-similarity",
+) -> Dict[Edge, SimilarityResult]:
+    """Run ``EstimateSimilarity`` simultaneously on many edges of a network.
+
+    Every requested edge runs the two-party protocol in parallel; the whole
+    batch costs a constant number of CONGEST rounds (one for the shared hash
+    index, one synchronous exchange of the ``σ``-bit indicators), which is the
+    point of the paper's construction.  Results are keyed by the edge in the
+    orientation given (``(u, v)`` and ``(v, u)`` would hold the same result).
+    """
+    if edges is None:
+        edges = list(network.graph.edges())
+    edges = [tuple(edge) for edge in edges]
+    stream = RngStream(seed)
+
+    # Round 1: on every edge the endpoint with the smaller identifier draws
+    # the shared hash-function index and sends it across (log F bits).
+    index_payloads = {}
+    per_edge_state: Dict[Edge, Tuple] = {}
+    for (u, v) in edges:
+        set_u = set(sets.get(u, ()))
+        set_v = set(sets.get(v, ()))
+        if not set_u or not set_v:
+            per_edge_state[(u, v)] = None
+            continue
+        max_size = max(len(set_u), len(set_v))
+        k = params.scale_factor(max_size)
+        family = params.family(max_size * k)
+        index = family.sample_index(stream.for_edge(u, v, label))
+        per_edge_state[(u, v)] = (set_u, set_v, k, family, index)
+        sender, receiver = (u, v) if repr(u) <= repr(v) else (v, u)
+        index_payloads[(sender, receiver)] = index_message(
+            index, family.size, label=f"{label}:index"
+        )
+    # The index is O(log F) = O(log n) bits; under a strict (1·log n)-bit
+    # budget it may still need a couple of chunked rounds.
+    network.exchange_chunked(index_payloads, label=f"{label}:index")
+
+    # Round 2: both endpoints exchange the σ-bit indicator of h(T).
+    indicator_payloads = {}
+    per_edge_hashes: Dict[Edge, Tuple[Set[int], Set[int]]] = {}
+    for (u, v), state in per_edge_state.items():
+        if state is None:
+            continue
+        set_u, set_v, k, family, index = state
+        h = family.member(index)
+        sigma = family.sigma
+        hashes_u = _low_unique_hashes(h, _scaled(set_u, k), sigma)
+        hashes_v = _low_unique_hashes(h, _scaled(set_v, k), sigma)
+        per_edge_hashes[(u, v)] = (hashes_u, hashes_v)
+        bits_u = [1 if value in hashes_u else 0 for value in range(1, sigma + 1)]
+        bits_v = [1 if value in hashes_v else 0 for value in range(1, sigma + 1)]
+        indicator_payloads[(u, v)] = bitstring_message(bits_u, label=f"{label}:indicator")
+        indicator_payloads[(v, u)] = bitstring_message(bits_v, label=f"{label}:indicator")
+    network.exchange_chunked(indicator_payloads, label=f"{label}:indicator")
+
+    results: Dict[Edge, SimilarityResult] = {}
+    for (u, v), state in per_edge_state.items():
+        if state is None:
+            results[(u, v)] = SimilarityResult(
+                estimate=0.0,
+                bits_exchanged=1,
+                scale_factor=1,
+                sigma=0,
+                lam=0,
+                shared_hash_values=frozenset(),
+            )
+            continue
+        _set_u, _set_v, k, family, _index = state
+        hashes_u, hashes_v = per_edge_hashes[(u, v)]
+        shared = frozenset(hashes_u & hashes_v)
+        estimate = len(shared) * family.lam / (family.sigma * k)
+        results[(u, v)] = SimilarityResult(
+            estimate=estimate,
+            bits_exchanged=family.index_bits + 2 * family.sigma,
+            scale_factor=k,
+            sigma=family.sigma,
+            lam=family.lam,
+            shared_hash_values=shared,
+        )
+    return results

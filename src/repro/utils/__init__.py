@@ -1,0 +1,17 @@
+"""Small shared utilities: math helpers, RNG streams, bit-size helpers."""
+
+from repro.utils.mathx import ilog2, log_star, tetration, clamp
+from repro.utils.rng import RngStream, derive_rng
+from repro.utils.bits import bit_length_of_int, bits_for_range, bits_for_bitstring
+
+__all__ = [
+    "ilog2",
+    "log_star",
+    "tetration",
+    "clamp",
+    "RngStream",
+    "derive_rng",
+    "bit_length_of_int",
+    "bits_for_range",
+    "bits_for_bitstring",
+]

@@ -1,0 +1,34 @@
+"""Bit-size helpers for the CONGEST bandwidth model.
+
+Every message sent through :class:`repro.congest.network.Network` is charged a
+number of bits.  These helpers define the canonical cost of the payload types
+the algorithms use, so that the accounting is consistent across primitives and
+the benchmarks can compare against the paper's ``O(log n)`` budget.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def bit_length_of_int(value: int) -> int:
+    """Bits needed to write ``value`` (at least 1, sign ignored)."""
+    return max(1, int(abs(int(value))).bit_length())
+
+
+def bits_for_range(size: int) -> int:
+    """Bits needed to index an element of a set of ``size`` elements."""
+    if size <= 1:
+        return 1
+    return (size - 1).bit_length()
+
+
+def bits_for_bitstring(bitstring: Iterable[int]) -> int:
+    """Cost of sending an explicit bitstring: one bit per entry."""
+    return sum(1 for _ in bitstring)
+
+
+def bits_for_int_list(values: Iterable[int], universe_size: int) -> int:
+    """Cost of sending a list of indices into a universe of ``universe_size``."""
+    per_item = bits_for_range(universe_size)
+    return sum(per_item for _ in values)

@@ -1,0 +1,78 @@
+"""Integer math helpers used throughout the reproduction.
+
+The coloring algorithm of the paper is stated in terms of iterated logarithms
+(``log* n``), tetration (``2 ↑↑ i``, used by ``SlackColor``), and various
+``log^k log n`` style quantities.  These helpers keep those computations in one
+place and make them exact for the small inputs used in tests.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def ilog2(x: float) -> int:
+    """Return ``floor(log2(x))`` for ``x >= 1``, and 0 for smaller values."""
+    if x < 2:
+        return 0
+    return int(math.log2(x))
+
+
+def log_star(x: float, base: float = 2.0) -> int:
+    """Return the iterated logarithm ``log* x``.
+
+    ``log* x`` is the number of times the logarithm must be applied before the
+    result drops to at most 1.  It is at most 5 for every input that fits in
+    the observable universe, which is exactly why the paper's ``O(log* n)``
+    phases terminate so quickly.
+    """
+    if x <= 1:
+        return 0
+    count = 0
+    value = x
+    while value > 1:
+        # math.log accepts arbitrarily large integers, so no float(x) cast.
+        value = math.log(value, base)
+        count += 1
+        if count > 128:  # pragma: no cover - defensive, unreachable for finite x
+            break
+    return count
+
+
+def tetration(base: int, height: int, cap: int = 2**62) -> int:
+    """Return ``base ↑↑ height`` (iterated exponentiation), capped at ``cap``.
+
+    ``SlackColor`` (Alg. 15) tries ``x_i = 2 ↑↑ i`` colors in iteration ``i``.
+    The cap prevents the intermediate values from exploding; the algorithm only
+    ever needs values up to the node's slack, which is far below the cap.
+    """
+    if height <= 0:
+        return 1
+    value = 1
+    for _ in range(height):
+        if value >= 64:  # 2**64 already exceeds any realistic cap
+            return cap
+        value = base**value
+        if value >= cap:
+            return cap
+    return value
+
+
+def clamp(value: float, low: float, high: float) -> float:
+    """Clamp ``value`` into the closed interval ``[low, high]``."""
+    if low > high:
+        raise ValueError(f"empty interval: [{low}, {high}]")
+    return max(low, min(high, value))
+
+
+def poly_log_log(n: int, power: float) -> float:
+    """Return ``(log2 log2 n)**power`` with sane behaviour for tiny ``n``."""
+    inner = math.log2(max(n, 4))
+    return math.log2(max(inner, 2.0)) ** power
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Integer ceiling division."""
+    if b <= 0:
+        raise ValueError("divisor must be positive")
+    return -(-a // b)

@@ -1,0 +1,58 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_color_defaults(self):
+        args = build_parser().parse_args(["color"])
+        assert args.problem == "d1c"
+        assert args.mode == "congest"
+
+    def test_unknown_problem_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["color", "--problem", "rainbow"])
+
+
+class TestCommands:
+    def test_color_d1c(self, capsys):
+        exit_code = main(["color", "--n", "60", "--p", "0.12", "--seed", "1"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "coloring run" in out
+        assert "True" in out
+
+    def test_color_d1lc_with_huge_colors(self, capsys):
+        exit_code = main([
+            "color", "--n", "40", "--p", "0.15", "--problem", "d1lc",
+            "--color-bits", "80", "--seed", "2",
+        ])
+        assert exit_code == 0
+        assert "rounds by phase" in capsys.readouterr().out
+
+    def test_color_local_mode(self, capsys):
+        exit_code = main(["color", "--n", "40", "--p", "0.15", "--mode", "local", "--seed", "3"])
+        assert exit_code == 0
+
+    def test_baseline(self, capsys):
+        exit_code = main(["baseline", "--n", "60", "--p", "0.1", "--seed", "4"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "johansson" in out and "pipeline" in out
+
+    def test_acd(self, capsys):
+        exit_code = main(["acd", "--cliques", "3", "--clique-size", "12", "--sparse", "8",
+                          "--seed", "5"])
+        assert exit_code == 0
+        assert "almost-clique decomposition" in capsys.readouterr().out
+
+    def test_triangles(self, capsys):
+        exit_code = main(["triangles", "--n", "80", "--seed", "6"])
+        assert exit_code == 0
+        assert "triangle" in capsys.readouterr().out

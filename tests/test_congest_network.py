@@ -1,0 +1,208 @@
+"""Tests for the CONGEST network simulator: rounds, bandwidth, errors."""
+
+import networkx as nx
+import pytest
+
+from repro.congest import (
+    BandwidthExceeded,
+    Message,
+    Network,
+    ProtocolError,
+    payload_bits,
+)
+
+
+@pytest.fixture
+def square() -> Network:
+    return Network(nx.cycle_graph(4), bandwidth_bits=16)
+
+
+class TestConstruction:
+    def test_default_bandwidth_scales_with_log_n(self):
+        small = Network(nx.path_graph(8))
+        large = Network(nx.path_graph(1024))
+        assert large.bandwidth_bits > small.bandwidth_bits
+
+    def test_explicit_bandwidth(self):
+        net = Network(nx.path_graph(4), bandwidth_bits=10)
+        assert net.bandwidth_bits == 10
+
+    def test_self_loops_rejected(self):
+        g = nx.Graph()
+        g.add_edge(1, 1)
+        with pytest.raises(ProtocolError):
+            Network(g)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            Network(nx.path_graph(3), mode="weird")
+
+    def test_views(self, square):
+        assert square.number_of_nodes == 4
+        assert square.degree(0) == 2
+        assert square.max_degree() == 2
+        assert square.are_adjacent(0, 1)
+        assert not square.are_adjacent(0, 2)
+
+    def test_neighbors_of_missing_node(self, square):
+        with pytest.raises(ProtocolError):
+            square.neighbors("nope")
+
+
+class TestExchange:
+    def test_delivery_and_round_count(self, square):
+        delivered = square.exchange({(0, 1): 5, (1, 0): 7})
+        assert delivered == {(0, 1): 5, (1, 0): 7}
+        assert square.rounds_used == 1
+
+    def test_each_exchange_is_one_round(self, square):
+        square.exchange({(0, 1): 1})
+        square.exchange({(1, 2): 1})
+        square.exchange({})
+        assert square.rounds_used == 3
+
+    def test_non_edge_rejected(self, square):
+        with pytest.raises(ProtocolError):
+            square.exchange({(0, 2): 1})
+
+    def test_self_message_rejected(self, square):
+        with pytest.raises(ProtocolError):
+            square.exchange({(0, 0): 1})
+
+    def test_bandwidth_enforced(self, square):
+        big = Message(content="x", bits=17)
+        with pytest.raises(BandwidthExceeded):
+            square.exchange({(0, 1): big})
+
+    def test_bandwidth_not_enforced_in_local_mode(self):
+        net = Network(nx.path_graph(4), mode="local", bandwidth_bits=4)
+        delivered = net.exchange({(0, 1): Message(content="big", bits=10_000)})
+        assert delivered[(0, 1)] == "big"
+
+    def test_message_unwrapped_on_delivery(self, square):
+        delivered = square.exchange({(0, 1): Message(content=("a", "b"), bits=4)})
+        assert delivered[(0, 1)] == ("a", "b")
+
+    def test_ledger_totals(self, square):
+        square.exchange({(0, 1): Message(content=1, bits=5), (2, 3): Message(content=1, bits=7)})
+        assert square.ledger.total_bits == 12
+        assert square.ledger.max_edge_bits == 7
+        assert square.ledger.total_messages == 2
+
+
+class TestBroadcast:
+    def test_reaches_all_neighbors(self, square):
+        inbox = square.broadcast({0: 42})
+        assert inbox[1][0] == 42
+        assert inbox[3][0] == 42
+        assert inbox[2] == {}
+
+    def test_broadcast_is_one_round(self, square):
+        square.broadcast({0: 1, 1: 2, 2: 3})
+        assert square.rounds_used == 1
+
+    def test_restricted_recipients(self, square):
+        inbox = square.broadcast({0: 9}, senders_only_to={0: [1]})
+        assert inbox[1][0] == 9
+        assert inbox[3] == {}
+
+    def test_restricted_to_non_neighbor_rejected(self, square):
+        with pytest.raises(ProtocolError):
+            square.broadcast({0: 9}, senders_only_to={0: [2]})
+
+
+class TestChunkedExchange:
+    def test_large_message_costs_multiple_rounds(self):
+        net = Network(nx.path_graph(3), bandwidth_bits=8)
+        net.exchange_chunked({(0, 1): Message(content="big", bits=33)})
+        assert net.rounds_used == 5  # ceil(33 / 8)
+
+    def test_small_message_costs_one_round(self):
+        net = Network(nx.path_graph(3), bandwidth_bits=8)
+        net.exchange_chunked({(0, 1): Message(content="ok", bits=8)})
+        assert net.rounds_used == 1
+
+    def test_local_mode_single_round(self):
+        net = Network(nx.path_graph(3), mode="local", bandwidth_bits=8)
+        net.exchange_chunked({(0, 1): Message(content="big", bits=1000)})
+        assert net.rounds_used == 1
+
+    def test_empty_still_charges_a_round(self):
+        net = Network(nx.path_graph(3), bandwidth_bits=8)
+        net.exchange_chunked({})
+        assert net.rounds_used == 1
+
+    def test_parallel_streams_share_rounds(self):
+        net = Network(nx.cycle_graph(4), bandwidth_bits=8)
+        net.exchange_chunked({
+            (0, 1): Message(content="a", bits=24),
+            (2, 3): Message(content="b", bits=16),
+        })
+        assert net.rounds_used == 3  # dominated by the 24-bit message
+
+    def test_total_bits_preserved(self):
+        net = Network(nx.path_graph(3), bandwidth_bits=8)
+        net.exchange_chunked({(0, 1): Message(content="a", bits=20)})
+        assert net.ledger.total_bits == 20
+
+    def test_non_edge_rejected(self):
+        net = Network(nx.path_graph(4), bandwidth_bits=8)
+        with pytest.raises(ProtocolError):
+            net.exchange_chunked({(0, 3): Message(content="a", bits=4)})
+
+    def test_broadcast_chunked(self):
+        net = Network(nx.star_graph(3), bandwidth_bits=8)
+        inbox = net.broadcast_chunked({0: Message(content="hub", bits=20)})
+        assert all(inbox[leaf][0] == "hub" for leaf in (1, 2, 3))
+        assert net.rounds_used == 3
+
+
+class TestSilentRoundsAndSummary:
+    def test_silent_round_advances_counter(self, square):
+        square.charge_silent_round()
+        assert square.rounds_used == 1
+        assert square.ledger.total_bits == 0
+
+    def test_summary_fields(self, square):
+        square.exchange({(0, 1): 3})
+        summary = square.summary()
+        assert summary["nodes"] == 4
+        assert summary["rounds"] == 1
+        assert summary["mode"] == "congest"
+
+    def test_rounds_by_label(self, square):
+        square.exchange({(0, 1): 1}, label="phase-a")
+        square.exchange({(0, 1): 1}, label="phase-a")
+        square.exchange({(0, 1): 1}, label="phase-b")
+        counts = square.ledger.rounds_by_label()
+        assert counts == {"phase-a": 2, "phase-b": 1}
+
+
+class TestPayloadBits:
+    def test_primitives(self):
+        assert payload_bits(None) == 1
+        assert payload_bits(True) == 1
+        assert payload_bits(0) == 1
+        assert payload_bits(255) == 8
+        assert payload_bits(1.5) == 64
+
+    def test_string(self):
+        assert payload_bits("ab") == 16
+
+    def test_collections(self):
+        assert payload_bits([1, 1]) > 2  # includes a length header
+        assert payload_bits((255, 255)) == payload_bits([255, 255])
+
+    def test_message_overrides(self):
+        assert payload_bits(Message(content=[1] * 1000, bits=3)) == 3
+
+    def test_unknown_type_rejected(self):
+        class Strange:
+            pass
+
+        with pytest.raises(TypeError):
+            payload_bits(Strange())
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ValueError):
+            Message(content=1, bits=-1)

@@ -1,0 +1,104 @@
+"""Tests for the generic per-node-program simulator."""
+
+import networkx as nx
+import pytest
+
+from repro.congest import Network, NodeProgram, NodeState, Simulator
+
+
+class FloodMin(NodeProgram):
+    """Every node learns the minimum identifier in its connected component."""
+
+    def init(self, ctx):
+        ctx.state["best"] = ctx.node
+        ctx.state["changed"] = True
+
+    def step(self, ctx, inbox):
+        for value in inbox.values():
+            if value < ctx.state["best"]:
+                ctx.state["best"] = value
+                ctx.state["changed"] = True
+        if not ctx.state["changed"]:
+            ctx.state.halt(ctx.state["best"])
+            return {}
+        ctx.state["changed"] = False
+        return {u: ctx.state["best"] for u in ctx.neighbors}
+
+    def finish(self, ctx):
+        return ctx.state["best"]
+
+
+class CountNeighbors(NodeProgram):
+    """One-round program: every node reports its degree."""
+
+    def step(self, ctx, inbox):
+        ctx.state.halt(ctx.degree)
+        return {}
+
+
+class TestSimulator:
+    def test_flood_min_on_path(self):
+        net = Network(nx.path_graph(8))
+        result = Simulator(net, FloodMin(), seed=1).run()
+        assert all(value == 0 for value in result.outputs.values())
+
+    def test_flood_min_round_count_tracks_diameter(self):
+        net = Network(nx.path_graph(10))
+        result = Simulator(net, FloodMin(), seed=1).run()
+        # Information must travel across the path: at least diameter rounds.
+        assert result.rounds >= 7
+
+    def test_flood_min_respects_components(self):
+        g = nx.disjoint_union(nx.path_graph(3), nx.path_graph(3))
+        net = Network(g)
+        result = Simulator(net, FloodMin(), seed=1).run()
+        assert result.outputs[0] == 0
+        assert result.outputs[3] == 3
+
+    def test_single_round_program(self):
+        net = Network(nx.star_graph(4))
+        result = Simulator(net, CountNeighbors(), seed=0).run()
+        assert result.outputs[0] == 4
+        assert all(result.outputs[leaf] == 1 for leaf in range(1, 5))
+
+    def test_max_rounds_cap(self):
+        class NeverHalts(NodeProgram):
+            def step(self, ctx, inbox):
+                return {u: 1 for u in ctx.neighbors}
+
+        net = Network(nx.path_graph(4))
+        result = Simulator(net, NeverHalts(), seed=0).run(max_rounds=5)
+        assert result.rounds == 5
+        assert not result.all_halted()
+
+    def test_per_node_rng_is_deterministic(self):
+        class RandomOutput(NodeProgram):
+            def step(self, ctx, inbox):
+                ctx.state.halt(ctx.rng.random())
+                return {}
+
+        net1 = Network(nx.path_graph(5))
+        net2 = Network(nx.path_graph(5))
+        out1 = Simulator(net1, RandomOutput(), seed=3).run().outputs
+        out2 = Simulator(net2, RandomOutput(), seed=3).run().outputs
+        assert out1 == out2
+
+    def test_base_program_step_is_abstract(self):
+        net = Network(nx.path_graph(3))
+        with pytest.raises(NotImplementedError):
+            Simulator(net, NodeProgram(), seed=0).step()
+
+
+class TestNodeState:
+    def test_mapping_interface(self):
+        state = NodeState(node="v")
+        state["x"] = 1
+        assert state["x"] == 1
+        assert "x" in state
+        assert state.get("missing", 9) == 9
+
+    def test_halt_records_output(self):
+        state = NodeState(node="v")
+        state.halt("done")
+        assert state.halted
+        assert state.output == "done"

@@ -1,0 +1,118 @@
+"""Tests for the almost-clique decomposition (Section 4.2, Definition 6)."""
+
+import networkx as nx
+import pytest
+
+from repro.congest import Network
+from repro.core import ColoringParameters
+from repro.core.acd import compute_acd
+from repro.graphs import planted_almost_cliques, validate_acd
+from repro.graphs.generators import locally_sparse_graph
+from repro.graphs.properties import acd_report_is_clean
+
+
+class TestComputeACD:
+    def test_partition_covers_active_nodes(self, planted_graph, small_params):
+        net = Network(planted_graph)
+        acd = compute_acd(net, small_params)
+        covered = acd.sparse_nodes | acd.uneven_nodes | acd.dense_nodes
+        assert covered == set(planted_graph.nodes())
+        assert not (acd.sparse_nodes & acd.dense_nodes)
+        assert not (acd.uneven_nodes & acd.dense_nodes)
+        assert not (acd.sparse_nodes & acd.uneven_nodes)
+
+    def test_planted_cliques_recovered(self, planted, small_params):
+        net = Network(planted.graph)
+        acd = compute_acd(net, small_params)
+        assert len(acd.cliques) == len(planted.cliques)
+        # Each detected clique is essentially one planted clique.
+        for members in acd.cliques.values():
+            best_overlap = max(
+                len(members & truth) / max(len(members), 1) for truth in planted.cliques
+            )
+            assert best_overlap >= 0.8
+
+    def test_sparse_graph_has_no_cliques(self, small_params):
+        g = locally_sparse_graph(60, degree=6, seed=3)
+        net = Network(g)
+        acd = compute_acd(net, small_params)
+        assert len(acd.cliques) == 0
+
+    def test_clique_graph_is_one_clique(self, small_params):
+        g = nx.complete_graph(20)
+        net = Network(g)
+        acd = compute_acd(net, small_params)
+        assert len(acd.cliques) == 1
+        assert len(acd.dense_nodes) == 20
+
+    def test_definition6_properties_hold(self, planted_graph, small_params):
+        net = Network(planted_graph)
+        acd = compute_acd(net, small_params)
+        report = validate_acd(
+            planted_graph,
+            sparse_nodes=acd.sparse_nodes,
+            uneven_nodes=acd.uneven_nodes,
+            almost_cliques=list(acd.cliques.values()),
+            eps_sparse=small_params.sparsity_eps,
+            eps_clique=2 * small_params.acd_eps,
+        )
+        assert acd_report_is_clean(report), report
+
+    def test_constant_rounds(self, planted_graph, small_params):
+        net = Network(planted_graph)
+        acd = compute_acd(net, small_params)
+        # O(1) rounds: a fixed setup plus the chunked sigma-bit indicators.
+        assert acd.rounds_used <= 60
+
+    def test_bandwidth_respected(self, planted_graph, small_params):
+        net = Network(planted_graph)
+        compute_acd(net, small_params)
+        assert net.ledger.max_edge_bits <= net.bandwidth_bits
+
+    def test_active_subset_restriction(self, planted, small_params):
+        net = Network(planted.graph)
+        active = set(planted.cliques[0]) | set(planted.cliques[1])
+        acd = compute_acd(net, small_params, active=active)
+        covered = acd.sparse_nodes | acd.uneven_nodes | acd.dense_nodes
+        assert covered == active
+
+    def test_result_helpers(self, planted_graph, small_params):
+        net = Network(planted_graph)
+        acd = compute_acd(net, small_params)
+        summary = acd.partition_summary()
+        assert summary["dense"] == len(acd.dense_nodes)
+        if acd.clique_of:
+            node = next(iter(acd.clique_of))
+            assert node in acd.clique_members(node)
+
+    def test_deterministic_given_seed(self, planted_graph):
+        params = ColoringParameters.small(seed=5)
+        acd1 = compute_acd(Network(planted_graph), params)
+        acd2 = compute_acd(Network(planted_graph), params)
+        assert acd1.clique_of == acd2.clique_of
+        assert acd1.sparse_nodes == acd2.sparse_nodes
+
+
+class TestUniformACD:
+    def test_uniform_buddy_recovers_planted_cliques(self, planted):
+        params = ColoringParameters.small(seed=3, uniform=True)
+        net = Network(planted.graph)
+        acd = compute_acd(net, params)
+        assert len(acd.cliques) >= len(planted.cliques) - 1
+        for members in acd.cliques.values():
+            best_overlap = max(
+                len(members & truth) / max(len(members), 1) for truth in planted.cliques
+            )
+            assert best_overlap >= 0.7
+
+    def test_uniform_no_false_cliques_on_sparse_graph(self):
+        params = ColoringParameters.small(seed=4, uniform=True)
+        g = locally_sparse_graph(50, degree=5, seed=5)
+        acd = compute_acd(Network(g), params)
+        assert len(acd.cliques) == 0
+
+    def test_uniform_bandwidth_respected(self, planted_graph):
+        params = ColoringParameters.small(seed=6, uniform=True)
+        net = Network(planted_graph)
+        compute_acd(net, params)
+        assert net.ledger.max_edge_bits <= net.bandwidth_bits

@@ -1,0 +1,123 @@
+"""Tests for MultiTrial (Algorithm 4) and its uniform variant (Algorithm 5)."""
+
+import networkx as nx
+import pytest
+
+from repro.congest import Network
+from repro.core import ColoringInstance, ColoringParameters
+from repro.core.multitrial import multi_trial
+from repro.core.state import ColoringState
+from repro.graphs import degree_plus_one_lists, huge_color_space_lists, numeric_degree_lists
+
+
+def make_state(graph, lists=None, extra=8, uniform=False, seed=1):
+    """A state where every node has `extra` more colors than its degree (slack)."""
+    if lists is None:
+        lists = numeric_degree_lists(graph, extra=extra)
+    instance = ColoringInstance.d1lc(graph, lists)
+    network = Network(graph)
+    params = ColoringParameters.small(seed=seed, uniform=uniform)
+    return ColoringState(instance, network, params)
+
+
+class TestMultiTrialRepresentative:
+    def test_single_trial_colors_most_slack_rich_nodes(self, gnp_small):
+        state = make_state(gnp_small, extra=3 * max(d for _, d in gnp_small.degree()))
+        colored = multi_trial(state, 8)
+        assert len(colored) >= 0.7 * gnp_small.number_of_nodes()
+        assert state.report().is_proper
+
+    def test_lemma6_success_rate_improves_with_tries(self, gnp_medium):
+        """More tried colors -> higher per-invocation coloring probability."""
+        rates = {}
+        for tries in (1, 8):
+            state = make_state(gnp_medium, extra=4 * max(d for _, d in gnp_medium.degree()),
+                               seed=tries)
+            colored = multi_trial(state, tries)
+            rates[tries] = len(colored) / gnp_medium.number_of_nodes()
+        assert rates[8] >= rates[1]
+
+    def test_never_produces_conflicts(self, gnp_small):
+        state = make_state(gnp_small, extra=10)
+        for _ in range(3):
+            multi_trial(state, 4)
+        assert state.report().is_proper
+
+    def test_constant_rounds_per_invocation(self, gnp_small):
+        state = make_state(gnp_small, extra=20)
+        before = state.network.rounds_used
+        multi_trial(state, 8)
+        rounds = state.network.rounds_used - before
+        assert rounds <= 4 + (2048 // state.network.bandwidth_bits) + 2
+
+    def test_bandwidth_respected(self, gnp_small):
+        state = make_state(gnp_small, extra=20)
+        multi_trial(state, 16)
+        assert state.network.ledger.max_edge_bits <= state.network.bandwidth_bits
+
+    def test_no_participants_is_a_noop(self, gnp_small):
+        state = make_state(gnp_small)
+        before_rounds = state.network.rounds_used
+        colored = multi_trial(state, 4, participants=[])
+        assert colored == set()
+        # Synchrony is preserved: the silent rounds are still charged.
+        assert state.network.rounds_used > before_rounds
+
+    def test_per_node_tries_mapping(self, gnp_small):
+        state = make_state(gnp_small, extra=20)
+        tries = {v: 4 for v in list(gnp_small.nodes())[:5]}
+        colored = multi_trial(state, tries)
+        assert colored <= set(list(gnp_small.nodes())[:5])
+
+    def test_cap_by_slack_hypothesis(self, gnp_small):
+        """With tiny palettes the Lemma 6 cap kicks in and the call still works."""
+        state = make_state(gnp_small, extra=0)
+        colored = multi_trial(state, 64)
+        assert state.report().is_proper
+        assert isinstance(colored, set)
+
+    def test_huge_color_space(self, gnp_small):
+        lists = huge_color_space_lists(gnp_small, color_space_bits=200, extra=15, seed=4)
+        state = make_state(gnp_small, lists=lists)
+        colored = multi_trial(state, 8)
+        assert state.report().is_proper
+        assert len(colored) > 0
+        assert state.network.ledger.max_edge_bits <= state.network.bandwidth_bits
+
+
+class TestMultiTrialUniform:
+    def test_uniform_variant_colors_nodes(self, gnp_small):
+        state = make_state(gnp_small, extra=3 * max(d for _, d in gnp_small.degree()),
+                           uniform=True)
+        colored = multi_trial(state, 8)
+        assert len(colored) >= 0.5 * gnp_small.number_of_nodes()
+        assert state.report().is_proper
+
+    def test_uniform_variant_never_conflicts(self, gnp_small):
+        state = make_state(gnp_small, extra=10, uniform=True)
+        for _ in range(3):
+            multi_trial(state, 4)
+        assert state.report().is_proper
+
+    def test_uniform_bandwidth_respected(self, gnp_small):
+        state = make_state(gnp_small, extra=20, uniform=True)
+        multi_trial(state, 8)
+        assert state.network.ledger.max_edge_bits <= state.network.bandwidth_bits
+
+    def test_uniform_and_representative_use_same_interface(self, gnp_small):
+        for uniform in (False, True):
+            state = make_state(gnp_small, extra=12, uniform=uniform, seed=7)
+            colored = multi_trial(state, 4)
+            assert isinstance(colored, set)
+
+
+class TestMultiTrialProgress:
+    def test_repeated_invocations_color_everyone_with_slack(self, gnp_small):
+        delta = max(d for _, d in gnp_small.degree())
+        state = make_state(gnp_small, extra=2 * delta + 4)
+        for _ in range(12):
+            if not state.uncolored_nodes():
+                break
+            multi_trial(state, 8)
+        assert len(state.uncolored_nodes()) <= 0.05 * gnp_small.number_of_nodes()
+        assert state.report().is_proper

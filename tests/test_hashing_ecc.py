@@ -1,0 +1,84 @@
+"""Tests for the error-correcting code used by the uniform Buddy test."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hashing.ecc import ErrorCorrectingCode, hamming_distance
+from repro.hashing.keys import element_key, mix64
+
+
+class TestHammingDistance:
+    def test_identical(self):
+        assert hamming_distance([0, 1, 1], [0, 1, 1]) == 0
+
+    def test_all_different(self):
+        assert hamming_distance([0, 0, 0], [1, 1, 1]) == 3
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            hamming_distance([0, 1], [0, 1, 1])
+
+
+class TestErrorCorrectingCode:
+    def test_codeword_length(self):
+        code = ErrorCorrectingCode(word_bits=16, expansion=3)
+        assert len(code.encode("node-7")) == 48
+
+    def test_codewords_are_bits(self):
+        code = ErrorCorrectingCode(word_bits=16)
+        assert set(code.encode(42)) <= {0, 1}
+
+    def test_deterministic(self):
+        a = ErrorCorrectingCode(word_bits=16, seed=3)
+        b = ErrorCorrectingCode(word_bits=16, seed=3)
+        assert a.encode("v") == b.encode("v")
+
+    def test_different_seeds_differ(self):
+        a = ErrorCorrectingCode(word_bits=16, seed=3)
+        b = ErrorCorrectingCode(word_bits=16, seed=4)
+        assert a.encode("v") != b.encode("v")
+
+    def test_identical_words_identical_codewords(self):
+        code = ErrorCorrectingCode(word_bits=24)
+        assert code.relative_distance(123, 123) == 0.0
+
+    def test_distinct_words_far_apart(self):
+        """The Algorithm 6 requirement: distinct IDs differ in a constant fraction."""
+        code = ErrorCorrectingCode(word_bits=32, seed=1)
+        for u in range(20):
+            for w in range(u + 1, 20):
+                assert code.relative_distance(u, w) >= 0.25
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ErrorCorrectingCode(word_bits=0)
+        with pytest.raises(ValueError):
+            ErrorCorrectingCode(word_bits=8, expansion=1)
+
+    @settings(max_examples=50, deadline=None)
+    @given(u=st.integers(min_value=0, max_value=10 ** 9),
+           w=st.integers(min_value=0, max_value=10 ** 9))
+    def test_distance_property_random_pairs(self, u, w):
+        code = ErrorCorrectingCode(word_bits=24, seed=7)
+        if u == w:
+            assert code.relative_distance(u, w) == 0.0
+        else:
+            assert code.relative_distance(u, w) >= 0.2
+
+
+class TestKeys:
+    def test_element_key_stable_for_ints(self):
+        assert element_key(5) == 5
+
+    def test_element_key_stable_for_strings(self):
+        assert element_key("abc") == element_key("abc")
+
+    def test_element_key_tuple_differs_from_parts(self):
+        assert element_key((1, 2)) != element_key(1)
+
+    def test_mix64_avalanche(self):
+        assert mix64(1, 2) != mix64(1, 3)
+        assert mix64(1, 2) != mix64(2, 1)
+
+    def test_mix64_range(self):
+        assert 0 <= mix64(123456789, 987654321) < 2 ** 64

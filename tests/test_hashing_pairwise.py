@@ -1,0 +1,89 @@
+"""Tests for the explicit pairwise-independent hash families (Section 5)."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.hashing.pairwise import PairwiseHashFamily, PairwiseHashFunction
+
+
+class TestPairwiseHashFunction:
+    def test_range_is_one_based(self):
+        h = PairwiseHashFunction(a=12345, b=678, lam=32)
+        values = [h(x) for x in range(500)]
+        assert min(values) >= 1
+        assert max(values) <= 32
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            PairwiseHashFunction(a=0, b=1, lam=8)
+        with pytest.raises(ValueError):
+            PairwiseHashFunction(a=1, b=-1, lam=8)
+        with pytest.raises(ValueError):
+            PairwiseHashFunction(a=1, b=1, lam=0)
+
+    def test_collision_count(self):
+        h = PairwiseHashFunction(a=987654321, b=12345, lam=4)
+        # With 40 elements into 4 buckets, almost everything collides.
+        assert h.collision_count(range(40)) >= 30
+
+    def test_collision_count_zero_for_singleton(self):
+        h = PairwiseHashFunction(a=987654321, b=12345, lam=4)
+        assert h.collision_count([7]) == 0
+
+    def test_spread_is_roughly_uniform(self):
+        h = PairwiseHashFunction(a=2 ** 40 + 7, b=997, lam=16)
+        counts = Counter(h(x) for x in range(3200))
+        assert max(counts.values()) < 3 * 3200 / 16
+
+
+class TestPairwiseHashFamily:
+    def make(self, lam=64, seed=0):
+        return PairwiseHashFamily(
+            universe_label="uniform", universe_size=10 ** 6, lam=lam, seed=seed
+        )
+
+    def test_members_deterministic_across_instances(self):
+        a, b = self.make(seed=5), self.make(seed=5)
+        assert [a.member(9)(x) for x in range(30)] == [b.member(9)(x) for x in range(30)]
+
+    def test_index_bits_cover_family(self):
+        family = self.make()
+        assert 2 ** family.index_bits >= family.family_size
+
+    def test_out_of_range_index(self):
+        family = self.make()
+        with pytest.raises(IndexError):
+            family.member(family.family_size)
+
+    def test_pairwise_collision_probability(self):
+        """Empirical Pr[h(x1) = h(x2)] is close to 1/lambda over the family."""
+        family = self.make(lam=32, seed=1)
+        rng = random.Random(0)
+        collisions = 0
+        trials = 400
+        for _ in range(trials):
+            h = family.member(family.sample_index(rng))
+            if h(123456) == h(654321):
+                collisions += 1
+        rate = collisions / trials
+        assert rate <= 3.0 / 32
+
+    def test_find_low_collision_index(self):
+        family = self.make(lam=256, seed=2)
+        rng = random.Random(1)
+        elements = list(range(40))
+        index = family.find_low_collision_index(elements, max_colliding=20, rng=rng)
+        assert family.member(index).collision_count(elements) <= 20
+
+    def test_find_low_collision_returns_best_effort(self):
+        # Impossible target: 40 elements into 2 buckets always collide.
+        family = self.make(lam=2, seed=3)
+        rng = random.Random(2)
+        index = family.find_low_collision_index(range(40), max_colliding=0, rng=rng, attempts=5)
+        assert 0 <= index < family.family_size
+
+    def test_rejects_bad_lambda(self):
+        with pytest.raises(ValueError):
+            PairwiseHashFamily("x", 100, lam=0)

@@ -1,0 +1,140 @@
+"""Tests for representative hash families (Lemma 1)."""
+
+import random
+
+import pytest
+
+from repro.hashing.representative import (
+    RepresentativeHashFamily,
+    representative_family_parameters,
+)
+from repro.hashing.setops import colliding_part, low_part
+
+
+class TestParameters:
+    def test_rejects_bad_alpha_beta(self):
+        with pytest.raises(ValueError):
+            representative_family_parameters(0.5, 0.2, 0.1, 100, 1000)
+        with pytest.raises(ValueError):
+            representative_family_parameters(0.0, 0.2, 0.1, 100, 1000)
+
+    def test_rejects_bad_nu(self):
+        with pytest.raises(ValueError):
+            representative_family_parameters(0.1, 0.2, 0.0, 100, 1000)
+
+    def test_sigma_at_most_lambda(self):
+        params = representative_family_parameters(0.1, 0.2, 0.1, 50, 1000)
+        assert params.sigma <= 50
+
+    def test_sigma_cap_applies(self):
+        params = representative_family_parameters(0.01, 0.05, 0.01, 10 ** 6, 1000, sigma_cap=256)
+        assert params.sigma == 256
+
+    def test_sigma_grows_as_accuracy_tightens(self):
+        loose = representative_family_parameters(0.2, 0.4, 0.1, 10 ** 6, 1000)
+        tight = representative_family_parameters(0.05, 0.1, 0.1, 10 ** 6, 1000)
+        assert tight.sigma > loose.sigma
+
+    def test_index_bits_logarithmic_in_family_size(self):
+        params = representative_family_parameters(0.1, 0.2, 0.1, 1000, 10 ** 9)
+        assert 2 ** params.index_bits >= params.family_size
+        assert params.index_bits <= 64
+
+
+class TestFamily:
+    def make(self, lam=600, seed=0):
+        return RepresentativeHashFamily(
+            universe_label="colors", universe_size=10 ** 6, lam=lam,
+            alpha=1 / 12, beta=1 / 3, nu=0.05, seed=seed,
+        )
+
+    def test_members_map_into_range(self):
+        family = self.make()
+        h = family.member(0)
+        assert all(1 <= h(x) <= family.lam for x in range(200))
+
+    def test_members_are_deterministic(self):
+        family_a = self.make(seed=3)
+        family_b = self.make(seed=3)
+        assert [family_a.member(5)(x) for x in range(50)] == [
+            family_b.member(5)(x) for x in range(50)
+        ]
+
+    def test_distinct_members_differ(self):
+        family = self.make()
+        h0, h1 = family.member(0), family.member(1)
+        assert any(h0(x) != h1(x) for x in range(50))
+
+    def test_distinct_seeds_give_distinct_families(self):
+        a, b = self.make(seed=1), self.make(seed=2)
+        assert any(a.member(0)(x) != b.member(0)(x) for x in range(50))
+
+    def test_index_out_of_range(self):
+        family = self.make()
+        with pytest.raises(IndexError):
+            family.member(family.size)
+
+    def test_len_and_getitem(self):
+        family = self.make()
+        assert len(family) == family.size
+        assert family[2](7) == family.member(2)(7)
+
+    def test_sample_index_within_range(self):
+        family = self.make()
+        rng = random.Random(0)
+        for _ in range(20):
+            assert 0 <= family.sample_index(rng) < family.size
+
+
+class TestLemma1Statistics:
+    """Empirical check of the (A, B)-good properties for random members.
+
+    This mirrors Claim 1: for fixed sets A, B, most members of the family
+    should report a low part of size close to sigma*|A|/lambda and few
+    collisions.  The benchmark E1 sweeps this more extensively.
+    """
+
+    def setup_method(self):
+        self.lam = 2000
+        self.family = RepresentativeHashFamily(
+            universe_label="lemma1", universe_size=10 ** 9, lam=self.lam,
+            alpha=0.05, beta=0.25, nu=0.1, seed=11,
+        )
+
+    def test_low_part_concentration_large_set(self):
+        a = set(range(400))  # |A| >= alpha * lambda = 100
+        sigma = self.family.sigma
+        expected = sigma * len(a) / self.lam
+        good = 0
+        trials = 30
+        rng = random.Random(1)
+        for _ in range(trials):
+            h = self.family.member(self.family.sample_index(rng))
+            size = len(low_part(h, a, sigma))
+            if abs(size - expected) <= 0.5 * expected:
+                good += 1
+        assert good >= 0.8 * trials
+
+    def test_collisions_are_rare(self):
+        a = set(range(400))
+        b = set(range(200, 600))
+        sigma = self.family.sigma
+        rng = random.Random(2)
+        bound = 2 * sigma * len(a) / self.lam * 0.5  # 2*sigma*|A|/lam * beta-ish
+        violations = 0
+        trials = 30
+        for _ in range(trials):
+            h = self.family.member(self.family.sample_index(rng))
+            collisions = len(colliding_part(h, a, b, sigma))
+            if collisions > max(4.0, bound):
+                violations += 1
+        assert violations <= 0.3 * trials
+
+    def test_small_sets_have_small_low_part(self):
+        a = set(range(20))  # |A| < alpha * lambda
+        sigma = self.family.sigma
+        rng = random.Random(3)
+        cap = sigma * 0.05 * (1 + 0.25) + 5
+        for _ in range(20):
+            h = self.family.member(self.family.sample_index(rng))
+            assert len(low_part(h, a, sigma)) <= max(cap, 3 * sigma * len(a) / self.lam + 5)

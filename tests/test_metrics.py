@@ -1,0 +1,62 @@
+"""Tests for metrics, ledger summaries and report formatting."""
+
+import networkx as nx
+
+from repro.congest import Message, Network
+from repro.metrics import ExperimentRecord, RoundBudgetCheck, format_series, format_table, summarize_ledger
+from repro.metrics.ledger import rounds_by_phase
+
+
+class TestLedgerSummaries:
+    def test_summarize_ledger_fields(self):
+        net = Network(nx.path_graph(4), bandwidth_bits=32)
+        net.exchange({(0, 1): Message(content=1, bits=10)}, label="a:one")
+        net.exchange({(1, 2): Message(content=1, bits=20)}, label="a:two")
+        summary = summarize_ledger(net)
+        assert summary["rounds"] == 2
+        assert summary["total_bits"] == 30
+        assert summary["max_edge_bits"] == 20
+        assert summary["bandwidth_bits"] == 32
+
+    def test_rounds_by_phase_groups_prefixes(self):
+        net = Network(nx.path_graph(4))
+        net.exchange({(0, 1): 1}, label="acd:degrees")
+        net.exchange({(0, 1): 1}, label="acd:buddy")
+        net.exchange({(0, 1): 1}, label="dense:slack")
+        assert rounds_by_phase(net) == {"acd": 2, "dense": 1}
+
+    def test_round_budget_check(self):
+        assert RoundBudgetCheck(bandwidth_bits=10, max_edge_bits=10).respected
+        assert not RoundBudgetCheck(bandwidth_bits=10, max_edge_bits=11).respected
+
+    def test_experiment_record_row(self):
+        record = ExperimentRecord(
+            name="E9", parameters={"n": 100}, measurements={"rounds": 42.0}
+        )
+        row = record.as_row()
+        assert row["experiment"] == "E9"
+        assert row["n"] == 100
+        assert row["rounds"] == 42.0
+
+
+class TestReportFormatting:
+    def test_format_table_alignment_and_header(self):
+        rows = [{"n": 10, "rounds": 3.5}, {"n": 1000, "rounds": 12.25}]
+        text = format_table(rows, title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "n" in lines[1] and "rounds" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([], title="empty")
+
+    def test_format_table_handles_missing_columns(self):
+        rows = [{"a": 1}, {"b": 2}]
+        text = format_table(rows)
+        assert "a" in text and "b" in text
+
+    def test_format_series(self):
+        text = format_series("x", "y", [(1, 2), (3, 4)])
+        assert "x" in text and "y" in text
+        assert "3" in text

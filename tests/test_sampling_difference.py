@@ -1,0 +1,123 @@
+"""Tests for difference sampling (two-party and multi-party, Section 2)."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.congest import Network
+from repro.sampling import SimilarityParameters
+from repro.sampling.difference import sample_from_difference, sample_private_elements
+
+PARAMS = SimilarityParameters(eps=0.3, nu=0.1, max_scale=2, sigma_cap=1024, seed=0)
+
+
+class TestTwoPartyDifference:
+    def test_empty_own_set(self):
+        result = sample_from_difference(set(), {1, 2, 3})
+        assert result.empty
+
+    def test_count_validation(self):
+        with pytest.raises(ValueError):
+            sample_from_difference({1}, set(), count=0)
+
+    def test_sampled_elements_come_from_own_set(self):
+        own = set(range(200))
+        other = set(range(100, 300))
+        result = sample_from_difference(own, other, count=5, params=PARAMS,
+                                        rng=random.Random(1))
+        assert all(x in own for x in result.elements)
+
+    def test_sampled_elements_mostly_outside_other(self):
+        own = set(range(400))
+        other = set(range(200, 600))
+        outside = 0
+        total = 0
+        for trial in range(15):
+            result = sample_from_difference(own, other, count=3, params=PARAMS,
+                                            rng=random.Random(trial))
+            for x in result.elements:
+                total += 1
+                outside += x not in other
+        assert total > 0
+        assert outside >= 0.8 * total
+
+    def test_disjoint_other_set_never_blocks(self):
+        own = set(range(300))
+        other = {10 ** 6 + i for i in range(300)}
+        result = sample_from_difference(own, other, count=4, params=PARAMS,
+                                        rng=random.Random(2))
+        assert len(result.elements) == 4
+
+    def test_subset_relation_yields_few_candidates(self):
+        own = set(range(100))
+        other = set(range(200))  # own ⊆ other: the true difference is empty
+        result = sample_from_difference(own, other, count=4, params=PARAMS,
+                                        rng=random.Random(3))
+        # Collisions may produce a stray candidate, but not many.
+        assert result.candidate_count <= 10
+
+    def test_bits_are_index_plus_sigma(self):
+        own = set(range(200))
+        other = set(range(100, 300))
+        result = sample_from_difference(own, other, params=PARAMS, rng=random.Random(4))
+        assert result.bits_exchanged > 0
+
+
+class TestMultiPartyDifference:
+    def test_private_elements_avoid_neighbor_sets(self):
+        g = nx.cycle_graph(10)
+        net = Network(g)
+        sets = {v: set(range(40 * v, 40 * v + 60)) for v in g.nodes()}  # overlapping windows
+        samples = sample_private_elements(net, sets, count=3, seed=1)
+        violations = 0
+        total = 0
+        for v, picked in samples.items():
+            for x in picked:
+                total += 1
+                assert x in sets[v]
+                violations += any(x in sets[u] for u in net.neighbors(v))
+        assert total > 0
+        assert violations <= 0.1 * total
+
+    def test_constant_rounds(self):
+        g = nx.gnp_random_graph(40, 0.2, seed=2)
+        net = Network(g)
+        sets = {v: set(range(v, v + 30)) for v in g.nodes()}
+        sample_private_elements(net, sets, count=2, seed=2)
+        assert net.rounds_used <= 3 + 256 // net.bandwidth_bits + 2
+
+    def test_empty_sets_are_skipped(self):
+        g = nx.path_graph(4)
+        net = Network(g)
+        sets = {0: set(), 1: {1, 2, 3}, 2: set(), 3: {7, 8, 9}}
+        samples = sample_private_elements(net, sets, seed=3)
+        assert set(samples) == {1, 3}
+
+    def test_no_participants(self):
+        g = nx.path_graph(3)
+        net = Network(g)
+        assert sample_private_elements(net, {v: set() for v in g.nodes()}) == {}
+
+    def test_count_validation(self):
+        g = nx.path_graph(3)
+        net = Network(g)
+        with pytest.raises(ValueError):
+            sample_private_elements(net, {0: {1}}, count=0)
+
+    def test_bandwidth_respected(self):
+        g = nx.gnp_random_graph(30, 0.2, seed=4)
+        net = Network(g)
+        sets = {v: set(range(v, v + 25)) for v in g.nodes()}
+        sample_private_elements(net, sets, count=2, seed=4)
+        assert net.ledger.max_edge_bits <= net.bandwidth_bits
+
+    def test_identical_sets_yield_few_samples(self):
+        """When every neighbour holds the same set, the true difference is empty."""
+        g = nx.complete_graph(6)
+        net = Network(g)
+        shared = set(range(100))
+        sets = {v: set(shared) for v in g.nodes()}
+        samples = sample_private_elements(net, sets, count=3, seed=5)
+        leaked = sum(len(picked) for picked in samples.values())
+        assert leaked <= 3  # only hash collisions can produce samples

@@ -1,0 +1,48 @@
+"""Tests for bit-size helpers."""
+
+from hypothesis import given, strategies as st
+
+from repro.utils.bits import (
+    bit_length_of_int,
+    bits_for_bitstring,
+    bits_for_int_list,
+    bits_for_range,
+)
+
+
+class TestBitLength:
+    def test_zero_and_one(self):
+        assert bit_length_of_int(0) == 1
+        assert bit_length_of_int(1) == 1
+
+    def test_larger(self):
+        assert bit_length_of_int(255) == 8
+        assert bit_length_of_int(256) == 9
+
+    def test_negative_uses_magnitude(self):
+        assert bit_length_of_int(-255) == 8
+
+
+class TestBitsForRange:
+    def test_singleton(self):
+        assert bits_for_range(1) == 1
+
+    def test_power_of_two(self):
+        assert bits_for_range(256) == 8
+
+    def test_non_power(self):
+        assert bits_for_range(257) == 9
+
+    @given(st.integers(min_value=2, max_value=10 ** 9))
+    def test_enough_to_index(self, size):
+        bits = bits_for_range(size)
+        assert 2 ** bits >= size
+        assert 2 ** (bits - 1) < size
+
+
+class TestBitstrings:
+    def test_counts_entries(self):
+        assert bits_for_bitstring([0, 1, 1, 0]) == 4
+
+    def test_int_list(self):
+        assert bits_for_int_list([1, 2, 3], universe_size=256) == 24
