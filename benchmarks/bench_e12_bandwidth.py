@@ -16,6 +16,8 @@ from __future__ import annotations
 
 import math
 
+import pytest
+
 from benchmarks.conftest import emit, run_once
 from repro.baselines import naive_compute_acd, naive_multi_trial
 from repro.congest import Network
@@ -26,7 +28,7 @@ from repro.core.state import ColoringState
 from repro.graphs import gnp_graph, numeric_degree_lists, planted_almost_cliques
 
 
-def multitrial_rows():
+def multitrial_rows(backend: str = "batch"):
     graph = gnp_graph(100, 0.12, seed=12)
     delta = max(d for _, d in graph.degree())
     budget = max(8, int(math.log2(graph.number_of_nodes())) + 1)
@@ -36,7 +38,7 @@ def multitrial_rows():
         for label, runner in (("hashed MultiTrial", multi_trial), ("naive MultiTrial", naive_multi_trial)):
             lists = numeric_degree_lists(graph, extra=3 * delta)
             instance = ColoringInstance.d1lc(graph, lists)
-            network = Network(graph, bandwidth_bits=budget)
+            network = Network(graph, bandwidth_bits=budget, backend=backend)
             state = ColoringState(instance, network, ColoringParameters.small(seed=tries))
             colored = runner(state, tries)
             results[label] = (network.rounds_used, len(colored))
@@ -51,7 +53,7 @@ def multitrial_rows():
     return rows
 
 
-def acd_rows():
+def acd_rows(backend: str = "batch"):
     rows = []
     for clique_size in (16, 32, 48):
         planted = planted_almost_cliques(
@@ -59,8 +61,8 @@ def acd_rows():
         )
         budget = max(8, int(math.log2(planted.graph.number_of_nodes())) + 1)
         params = ColoringParameters.small(seed=clique_size)
-        hashed_net = Network(planted.graph, bandwidth_bits=budget)
-        naive_net = Network(planted.graph, bandwidth_bits=budget)
+        hashed_net = Network(planted.graph, bandwidth_bits=budget, backend=backend)
+        naive_net = Network(planted.graph, bandwidth_bits=budget, backend=backend)
         hashed = compute_acd(hashed_net, params)
         naive = naive_compute_acd(naive_net, params)
         edges = planted.graph.number_of_edges()
@@ -77,14 +79,16 @@ def acd_rows():
     return rows
 
 
-def measure():
-    return multitrial_rows() + acd_rows()
+def measure(backend: str = "batch"):
+    return multitrial_rows(backend) + acd_rows(backend)
 
 
-def test_e12_bandwidth_ablation(benchmark):
-    rows = run_once(benchmark, measure)
+@pytest.mark.parametrize("backend", ["dict", "batch"])
+def test_e12_bandwidth_ablation(benchmark, backend):
+    rows = run_once(benchmark, lambda: measure(backend))
     emit(benchmark, "E12 — bandwidth ablation: hashed vs naive primitives "
-                    "(rounds at a strict log n budget; 'colored' = nodes colored / cliques found)",
+                    f"(rounds at a strict log n budget; backend={backend}; "
+                    "'colored' = nodes colored / cliques found)",
          rows)
     multitrial = [r for r in rows if r["experiment"] == "MultiTrial"]
     # The naive cost grows with x; the hashed cost stays flat.

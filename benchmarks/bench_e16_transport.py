@@ -1,0 +1,92 @@
+"""E16 — Transport engine: DictTransport vs BatchTransport wall-clock.
+
+The two backends charge byte-identical ledgers (enforced by the equivalence
+suite in ``tests/test_transport_equivalence.py``); this benchmark measures
+what the batching buys in wall-clock on the largest seed workload
+(the n=240 D1LC instance of E9) plus a raw exchange/broadcast microbench.
+The table also re-asserts the ledger equality end to end, so a perf run
+doubles as a fidelity check.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import emit, run_once
+from repro.congest import Message, Network
+from repro.core import ColoringParameters, solve_d1lc
+from repro.graphs import degree_plus_one_lists, gnp_graph
+
+N = 240
+AVG_DEGREE = 10
+BACKENDS = ("dict", "batch")
+
+
+def _pipeline_row():
+    graph = gnp_graph(N, min(0.5, AVG_DEGREE / N), seed=N)
+    lists = degree_plus_one_lists(graph, seed=N)
+    timings = {}
+    results = {}
+    for backend in BACKENDS:
+        start = time.perf_counter()
+        results[backend] = solve_d1lc(
+            graph, lists, params=ColoringParameters.small(seed=N), backend=backend
+        )
+        timings[backend] = time.perf_counter() - start
+    a, b = results["dict"], results["batch"]
+    assert a.coloring == b.coloring
+    assert (a.rounds, a.total_bits, a.max_edge_bits) == (
+        b.rounds, b.total_bits, b.max_edge_bits
+    )
+    return {
+        "workload": f"D1LC gnp n={N}",
+        "dict s": round(timings["dict"], 3),
+        "batch s": round(timings["batch"], 3),
+        "speedup": round(timings["dict"] / max(timings["batch"], 1e-9), 2),
+        "ledgers equal": True,
+        "rounds": a.rounds,
+    }
+
+
+def _microbench_row(rounds: int = 60):
+    graph = gnp_graph(N, min(0.5, AVG_DEGREE / N), seed=N)
+    timings = {}
+    ledgers = {}
+    for backend in BACKENDS:
+        network = Network(graph, bandwidth_bits=256, backend=backend)
+        payloads = {
+            v: Message(content=v, bits=8, label="micro") for v in network.nodes
+        }
+        start = time.perf_counter()
+        for _ in range(rounds):
+            network.broadcast(payloads, label="micro:bcast")
+            network.exchange(
+                {(u, v): Message(content=1, bits=4, label="m")
+                 for u in network.nodes for v in network.neighbors(u)},
+                label="micro:exch",
+            )
+        timings[backend] = time.perf_counter() - start
+        ledgers[backend] = (network.ledger.rounds, network.ledger.total_bits,
+                            network.ledger.max_edge_bits)
+    assert ledgers["dict"] == ledgers["batch"]
+    return {
+        "workload": f"raw bcast+exch n={N} x{rounds}",
+        "dict s": round(timings["dict"], 3),
+        "batch s": round(timings["batch"], 3),
+        "speedup": round(timings["dict"] / max(timings["batch"], 1e-9), 2),
+        "ledgers equal": True,
+        "rounds": ledgers["dict"][0],
+    }
+
+
+def measure():
+    return [_pipeline_row(), _microbench_row()]
+
+
+def test_e16_transport_backends(benchmark):
+    rows = run_once(benchmark, measure)
+    emit(benchmark, "E16 — transport backends: identical ledgers, wall-clock "
+                    "dict vs batch", rows)
+    # The batch backend must never lose badly on the raw primitive path.
+    micro = rows[1]
+    assert micro["batch s"] <= micro["dict s"] * 1.5

@@ -34,6 +34,8 @@ def johansson_coloring(
     seed: int = 0,
     max_iterations: Optional[int] = None,
     params: Optional[ColoringParameters] = None,
+    backend: str = "batch",
+    ledger: str = "records",
 ) -> ColoringResult:
     """Color ``graph`` by iterated random color trials.
 
@@ -45,7 +47,7 @@ def johansson_coloring(
     else:
         instance = ColoringInstance.d1lc(graph, lists)
     params = (params or ColoringParameters.small()).with_seed(seed)
-    network = Network(graph, mode=mode)
+    network = Network(graph, mode=mode, backend=backend, ledger=ledger)
     state = ColoringState(instance, network, params)
     if max_iterations is None:
         max_iterations = 8 * max(4, graph.number_of_nodes().bit_length() ** 2)

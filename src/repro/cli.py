@@ -51,15 +51,18 @@ def cmd_color(args: argparse.Namespace) -> int:
     graph = gnp_graph(args.n, args.p, seed=args.seed)
     params = ColoringParameters.small(seed=args.seed, uniform=args.uniform)
     if args.problem == "d1c":
-        result = solve_d1c(graph, params=params, mode=args.mode)
+        result = solve_d1c(graph, params=params, mode=args.mode,
+                           backend=args.backend, ledger=args.ledger)
     elif args.problem == "delta+1":
-        result = solve_delta_plus_one(graph, params=params, mode=args.mode)
+        result = solve_delta_plus_one(graph, params=params, mode=args.mode,
+                                      backend=args.backend, ledger=args.ledger)
     else:
         if args.color_bits:
             lists = huge_color_space_lists(graph, color_space_bits=args.color_bits, seed=args.seed)
         else:
             lists = degree_plus_one_lists(graph, seed=args.seed)
-        result = solve_d1lc(graph, lists, params=params, mode=args.mode)
+        result = solve_d1lc(graph, lists, params=params, mode=args.mode,
+                            backend=args.backend, ledger=args.ledger)
     print(format_table(_coloring_rows(args.problem, result), title="coloring run"))
     print("\nrounds by phase:")
     for phase, rounds in sorted(result.rounds_by_phase.items()):
@@ -69,8 +72,9 @@ def cmd_color(args: argparse.Namespace) -> int:
 
 def cmd_baseline(args: argparse.Namespace) -> int:
     graph = gnp_graph(args.n, args.p, seed=args.seed)
-    pipeline = solve_d1c(graph, params=ColoringParameters.small(seed=args.seed))
-    baseline = johansson_coloring(graph, seed=args.seed)
+    pipeline = solve_d1c(graph, params=ColoringParameters.small(seed=args.seed),
+                         backend=args.backend)
+    baseline = johansson_coloring(graph, seed=args.seed, backend=args.backend)
     rows = _coloring_rows("pipeline", pipeline) + _coloring_rows("johansson", baseline)
     print(format_table(rows, title="pipeline vs random-trial baseline"))
     return 0 if pipeline.is_valid and baseline.is_valid else 1
@@ -82,7 +86,7 @@ def cmd_acd(args: argparse.Namespace) -> int:
         num_sparse=args.sparse, seed=args.seed,
     )
     params = ColoringParameters.small(seed=args.seed, uniform=args.uniform)
-    network = Network(planted.graph)
+    network = Network(planted.graph, backend=args.backend)
     acd = compute_acd(network, params)
     summary = acd.partition_summary()
     summary["rounds"] = acd.rounds_used
@@ -93,7 +97,7 @@ def cmd_acd(args: argparse.Namespace) -> int:
 
 def cmd_triangles(args: argparse.Namespace) -> int:
     planted = triangle_rich_graph(n=args.n, planted_cliques=3, clique_size=14, seed=args.seed)
-    network = Network(planted.graph)
+    network = Network(planted.graph, backend=args.backend)
     result = detect_triangle_rich_edges(network, eps=args.eps, seed=args.seed)
     rich = flagged_rich = 0
     for u, v in planted.graph.edges():
@@ -117,6 +121,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_backend_option(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--backend", choices=["batch", "dict"], default="batch",
+                       help="transport backend (identical accounting; 'dict' is "
+                            "the per-message reference implementation)")
+
     color = sub.add_parser("color", help="run the D1LC/D1C/(Δ+1) coloring pipeline")
     color.add_argument("--n", type=int, default=200)
     color.add_argument("--p", type=float, default=0.08)
@@ -127,12 +136,16 @@ def build_parser() -> argparse.ArgumentParser:
     color.add_argument("--uniform", action="store_true",
                        help="use the uniform (Section 5) implementations")
     color.add_argument("--seed", type=int, default=0)
+    add_backend_option(color)
+    color.add_argument("--ledger", choices=["records", "counters"], default="records",
+                       help="keep full per-round history or aggregate counters only")
     color.set_defaults(func=cmd_color)
 
     baseline = sub.add_parser("baseline", help="compare against the random-trial baseline")
     baseline.add_argument("--n", type=int, default=200)
     baseline.add_argument("--p", type=float, default=0.08)
     baseline.add_argument("--seed", type=int, default=0)
+    add_backend_option(baseline)
     baseline.set_defaults(func=cmd_baseline)
 
     acd = sub.add_parser("acd", help="compute an almost-clique decomposition")
@@ -141,12 +154,14 @@ def build_parser() -> argparse.ArgumentParser:
     acd.add_argument("--sparse", type=int, default=20)
     acd.add_argument("--uniform", action="store_true")
     acd.add_argument("--seed", type=int, default=0)
+    add_backend_option(acd)
     acd.set_defaults(func=cmd_acd)
 
     triangles = sub.add_parser("triangles", help="local triangle-richness detection")
     triangles.add_argument("--n", type=int, default=150)
     triangles.add_argument("--eps", type=float, default=0.3)
     triangles.add_argument("--seed", type=int, default=0)
+    add_backend_option(triangles)
     triangles.set_defaults(func=cmd_triangles)
     return parser
 

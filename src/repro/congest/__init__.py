@@ -1,8 +1,16 @@
 """Synchronous CONGEST / LOCAL network simulator.
 
 The simulator is the substrate every distributed primitive in this
-reproduction runs on.  A :class:`~repro.congest.network.Network` wraps a
-``networkx`` graph and exposes synchronous communication primitives
+reproduction runs on.  It is layered (see DESIGN.md):
+
+* :class:`~repro.congest.topology.Topology` — immutable CSR-style adjacency;
+* :class:`~repro.congest.transport.Transport` — pluggable delivery backends
+  (:class:`~repro.congest.transport.DictTransport` reference semantics,
+  :class:`~repro.congest.transport.BatchTransport` batched fast path);
+* :class:`~repro.metrics.ledger.Ledger` — pluggable bandwidth accounting.
+
+A :class:`~repro.congest.network.Network` facade wires the three together and
+exposes the synchronous communication primitives
 (:meth:`~repro.congest.network.Network.exchange`,
 :meth:`~repro.congest.network.Network.broadcast`).  Each call is one CONGEST
 round: the round counter advances and each per-edge payload is charged its bit
@@ -16,7 +24,15 @@ from repro.congest.errors import BandwidthExceeded, CongestError, ProtocolError
 from repro.congest.bandwidth import payload_bits
 from repro.congest.message import Message
 from repro.congest.node import NodeState
-from repro.congest.network import Network, RoundRecord
+from repro.congest.topology import Topology
+from repro.congest.transport import (
+    BatchTransport,
+    DictTransport,
+    TRANSPORT_BACKENDS,
+    Transport,
+    make_transport,
+)
+from repro.congest.network import DEFAULT_BACKEND, Network, RoundRecord
 from repro.congest.program import NodeProgram, ProgramContext
 from repro.congest.simulator import Simulator, SimulationResult
 
@@ -27,6 +43,13 @@ __all__ = [
     "payload_bits",
     "Message",
     "NodeState",
+    "Topology",
+    "Transport",
+    "DictTransport",
+    "BatchTransport",
+    "TRANSPORT_BACKENDS",
+    "make_transport",
+    "DEFAULT_BACKEND",
     "Network",
     "RoundRecord",
     "NodeProgram",

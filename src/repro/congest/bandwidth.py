@@ -55,9 +55,15 @@ def payload_bits(payload: object) -> int:
 
 
 def bitstring_message(bits: Iterable[int], label: str = "bitstring") -> Message:
-    """Package an explicit 0/1 bitstring, charged one bit per position."""
-    values = tuple(int(b) for b in bits)
-    if any(b not in (0, 1) for b in values):
+    """Package an explicit 0/1 bitstring, charged one bit per position.
+
+    Indicator strings are the bulkiest payloads the primitives build (σ bits
+    per edge per round), so coercion and validation run at C speed: ``map``
+    does the per-entry ``int()`` and a single set comparison checks the whole
+    string is 0/1.
+    """
+    values = tuple(map(int, bits))
+    if not set(values) <= {0, 1}:
         raise ValueError("bitstring entries must be 0 or 1")
     return Message(content=values, bits=max(1, len(values)), label=label)
 

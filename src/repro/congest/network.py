@@ -1,8 +1,18 @@
 """The synchronous CONGEST / LOCAL network.
 
-A :class:`Network` wraps an undirected ``networkx`` graph and provides the
-communication primitives the coloring algorithms are written against.  All
-communication goes through :meth:`Network.exchange` (per-edge directed
+A :class:`Network` is a thin facade over the three layers of the
+communication engine (see DESIGN.md):
+
+* :class:`~repro.congest.topology.Topology` — immutable CSR-style adjacency
+  (cached node list, neighbor sets, degrees, contiguous node index);
+* :class:`~repro.congest.transport.Transport` — the delivery mechanics,
+  selected via ``backend=`` (``"batch"`` by default, ``"dict"`` for the
+  per-message reference semantics);
+* :class:`~repro.metrics.ledger.Ledger` — the bandwidth accounting, selected
+  via ``ledger=`` (``"records"`` keeps the full round history, ``"counters"``
+  keeps aggregates only for big runs).
+
+All communication goes through :meth:`Network.exchange` (per-edge directed
 messages) or :meth:`Network.broadcast` (same message to all neighbours); every
 call is exactly one synchronous round, and every per-edge payload is charged
 its bit size against the bandwidth budget.
@@ -16,62 +26,25 @@ and by ablation benchmarks.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, Iterable, List, Mapping, Optional, Tuple
+from typing import Any, Dict, Hashable, Iterable, Mapping, Optional, Tuple
 
 import networkx as nx
 
-from repro.congest.bandwidth import payload_bits
-from repro.congest.errors import BandwidthExceeded, ProtocolError
-from repro.congest.message import unwrap
+from repro.congest.errors import ProtocolError  # noqa: F401  (re-export)
+from repro.congest.topology import Topology
+from repro.congest.transport import Transport, make_transport
+from repro.metrics.ledger import (  # noqa: F401  (RoundRecord re-exported)
+    BandwidthLedger,
+    Ledger,
+    RoundRecord,
+    ledger_class,
+    make_ledger,
+)
 
 Node = Hashable
 DirectedEdge = Tuple[Node, Node]
 
-
-@dataclass
-class RoundRecord:
-    """Accounting for a single synchronous round."""
-
-    index: int
-    label: str
-    message_count: int
-    total_bits: int
-    max_edge_bits: int
-
-
-@dataclass
-class BandwidthLedger:
-    """Aggregate communication statistics over an execution."""
-
-    rounds: int = 0
-    total_bits: int = 0
-    total_messages: int = 0
-    max_edge_bits: int = 0
-    records: List[RoundRecord] = field(default_factory=list)
-
-    def record_round(self, label: str, message_count: int, total_bits: int,
-                     max_edge_bits: int) -> None:
-        self.rounds += 1
-        self.total_bits += total_bits
-        self.total_messages += message_count
-        self.max_edge_bits = max(self.max_edge_bits, max_edge_bits)
-        self.records.append(
-            RoundRecord(
-                index=self.rounds,
-                label=label,
-                message_count=message_count,
-                total_bits=total_bits,
-                max_edge_bits=max_edge_bits,
-            )
-        )
-
-    def rounds_by_label(self) -> Dict[str, int]:
-        """Number of rounds spent under each label (useful in benchmarks)."""
-        counts: Dict[str, int] = {}
-        for record in self.records:
-            counts[record.label] = counts.get(record.label, 0) + 1
-        return counts
+DEFAULT_BACKEND = "batch"
 
 
 class Network:
@@ -93,6 +66,13 @@ class Network:
         factor of 32 words keeps the accounting honest (every primitive still
         uses ``O(log n)`` bits) while leaving room for the constant factors
         that the paper hides in Θ-notation.
+    backend:
+        Transport backend: ``"batch"`` (default) or ``"dict"``.  Both charge
+        identical ledgers; ``"dict"`` keeps the original message-at-a-time
+        reference implementation.
+    ledger:
+        Ledger kind (``"records"`` / ``"counters"``) or a
+        :class:`~repro.metrics.ledger.Ledger` instance to share.
     """
 
     def __init__(
@@ -101,52 +81,101 @@ class Network:
         mode: str = "congest",
         bandwidth_bits: Optional[int] = None,
         bandwidth_factor: float = 32.0,
+        backend: str = DEFAULT_BACKEND,
+        ledger: Any = None,
     ):
         if mode not in ("congest", "local"):
             raise ValueError(f"unknown mode: {mode!r}")
-        if any(u == v for u, v in graph.edges()):
-            raise ProtocolError("self-loops are not allowed in a CONGEST network")
         self.graph = graph
-        self.mode = mode
         self.bandwidth_factor = float(bandwidth_factor)
-        n = max(graph.number_of_nodes(), 2)
-        if bandwidth_bits is None:
-            bandwidth_bits = int(math.ceil(bandwidth_factor * math.log2(n)))
-        self.bandwidth_bits = int(bandwidth_bits)
-        self.ledger = BandwidthLedger()
-        self._adjacency: Dict[Node, frozenset] = {
-            v: frozenset(graph.neighbors(v)) for v in graph.nodes()
-        }
+        if isinstance(backend, Transport):
+            # Adopt the instance's wiring wholesale: the facade's views and
+            # accounting must describe the transport that actually runs, not
+            # freshly-built ones it would silently bypass.  Conflicting
+            # explicit arguments are rejected rather than silently ignored.
+            if backend.topology.graph is not graph:
+                raise ValueError(
+                    "transport instance was built on a different graph than "
+                    "the one passed to Network"
+                )
+            if mode != backend.mode:
+                raise ValueError(
+                    f"mode={mode!r} conflicts with the transport instance's "
+                    f"mode={backend.mode!r}"
+                )
+            if bandwidth_bits is not None and int(bandwidth_bits) != backend.bandwidth_bits:
+                raise ValueError(
+                    f"bandwidth_bits={bandwidth_bits} conflicts with the "
+                    f"transport instance's budget of {backend.bandwidth_bits}"
+                )
+            if ledger is not None:
+                if isinstance(ledger, Ledger):
+                    if ledger is not backend.ledger:
+                        raise ValueError(
+                            "ledger instance conflicts with the transport "
+                            "instance's ledger (the transport's own ledger is "
+                            "always used)"
+                        )
+                elif ledger_class(ledger) is not type(backend.ledger):
+                    raise ValueError(
+                        f"ledger={ledger!r} conflicts with the transport "
+                        f"instance's {type(backend.ledger).__name__}"
+                    )
+            self.transport = backend
+            self.topology = backend.topology
+            self.mode = backend.mode
+            self.bandwidth_bits = backend.bandwidth_bits
+            self.ledger: Ledger = backend.ledger
+        else:
+            self.mode = mode
+            self.topology = Topology(graph)
+            n = max(self.topology.number_of_nodes, 2)
+            if bandwidth_bits is None:
+                bandwidth_bits = int(math.ceil(bandwidth_factor * math.log2(n)))
+            self.bandwidth_bits = int(bandwidth_bits)
+            self.ledger = make_ledger(ledger)
+            self.transport = make_transport(
+                backend, self.topology, self.mode, self.bandwidth_bits, self.ledger
+            )
+        self.backend = self.transport.name
 
     # ------------------------------------------------------------------ views
     @property
-    def nodes(self) -> List[Node]:
-        return list(self.graph.nodes())
+    def nodes(self) -> Tuple[Node, ...]:
+        """All nodes, in insertion order (cached — safe in hot loops)."""
+        return self.topology.nodes
 
     @property
     def number_of_nodes(self) -> int:
-        return self.graph.number_of_nodes()
+        return self.topology.number_of_nodes
+
+    @property
+    def number_of_edges(self) -> int:
+        return self.topology.number_of_edges
 
     @property
     def rounds_used(self) -> int:
         return self.ledger.rounds
 
     def neighbors(self, v: Node) -> frozenset:
-        try:
-            return self._adjacency[v]
-        except KeyError:
-            raise ProtocolError(f"node {v!r} is not in the network") from None
+        return self.topology.neighbors(v)
 
     def degree(self, v: Node) -> int:
-        return len(self.neighbors(v))
+        return self.topology.degree(v)
 
     def max_degree(self) -> int:
-        if not self._adjacency:
-            return 0
-        return max(len(nbrs) for nbrs in self._adjacency.values())
+        return self.topology.max_degree()
 
     def are_adjacent(self, u: Node, v: Node) -> bool:
-        return v in self.neighbors(u)
+        return self.topology.are_adjacent(u, v)
+
+    def index_of(self, v: Node) -> int:
+        """Contiguous index of ``v`` (see :meth:`Topology.index_of`)."""
+        return self.topology.index_of(v)
+
+    def node_at(self, i: int) -> Node:
+        """Node with contiguous index ``i`` (see :meth:`Topology.node_at`)."""
+        return self.topology.node_at(i)
 
     # ---------------------------------------------------------- communication
     def exchange(
@@ -168,58 +197,25 @@ class Network:
         BandwidthExceeded
             If any single payload exceeds the bandwidth budget (CONGEST mode).
         """
-        total_bits = 0
-        max_edge_bits = 0
-        delivered: Dict[DirectedEdge, Any] = {}
-        for (sender, receiver), payload in messages.items():
-            if sender == receiver:
-                raise ProtocolError(f"node {sender!r} cannot message itself")
-            if receiver not in self.neighbors(sender):
-                raise ProtocolError(
-                    f"{sender!r} and {receiver!r} are not adjacent; CONGEST only "
-                    "allows communication along edges"
-                )
-            bits = payload_bits(payload)
-            if self.mode == "congest" and bits > self.bandwidth_bits:
-                raise BandwidthExceeded(
-                    (sender, receiver), bits, self.bandwidth_bits, label
-                )
-            total_bits += bits
-            max_edge_bits = max(max_edge_bits, bits)
-            delivered[(sender, receiver)] = unwrap(payload)
-        self.ledger.record_round(label, len(delivered), total_bits, max_edge_bits)
-        return delivered
+        return self.transport.exchange(messages, label=label)
 
     def broadcast(
         self,
         values: Mapping[Node, Any],
         label: str = "broadcast",
         senders_only_to: Optional[Mapping[Node, Iterable[Node]]] = None,
-    ) -> Dict[Node, Dict[Node, Any]]:
+    ) -> Dict[Node, Mapping[Node, Any]]:
         """Each node in ``values`` sends the same payload to (all) neighbours.
 
         Returns an inbox per node: ``inbox[v][u]`` is the payload ``v``
         received from neighbour ``u``.  ``senders_only_to`` optionally
         restricts each sender's recipients to a subset of its neighbours.
+        Inboxes are read-only views (empty ones are shared); copy before
+        mutating.
         """
-        messages: Dict[DirectedEdge, Any] = {}
-        for sender, payload in values.items():
-            recipients = (
-                self.neighbors(sender)
-                if senders_only_to is None or sender not in senders_only_to
-                else senders_only_to[sender]
-            )
-            for receiver in recipients:
-                if receiver not in self.neighbors(sender):
-                    raise ProtocolError(
-                        f"{sender!r} cannot broadcast to non-neighbour {receiver!r}"
-                    )
-                messages[(sender, receiver)] = payload
-        delivered = self.exchange(messages, label=label)
-        inbox: Dict[Node, Dict[Node, Any]] = {v: {} for v in self.nodes}
-        for (sender, receiver), payload in delivered.items():
-            inbox[receiver][sender] = payload
-        return inbox
+        return self.transport.broadcast(
+            values, label=label, senders_only_to=senders_only_to
+        )
 
     def exchange_chunked(
         self,
@@ -232,62 +228,23 @@ class Network:
         budget-sized chunk per round.  This helper charges
         ``ceil(max_message_bits / budget)`` rounds (all messages stream in
         parallel on their own edges) and then delivers the full payloads.  In
-        LOCAL mode it behaves exactly like :meth:`exchange` (one round).
+        LOCAL mode it charges exactly one round with the true per-edge sizes,
+        identical to :meth:`exchange`.
 
         The paper's primitives use this for the ``σ``-bit indicator strings of
         ``EstimateSimilarity``/``MultiTrial``: with constant ``ε`` those are
         ``O(log n)`` bits, i.e. a constant number of rounds, but the constant
         depends on ``ε`` — the simulator makes that cost explicit.
         """
-        if not messages:
-            self.ledger.record_round(label, 0, 0, 0)
-            return {}
-        sizes = {edge: payload_bits(payload) for edge, payload in messages.items()}
-        for (sender, receiver) in messages:
-            if sender == receiver:
-                raise ProtocolError(f"node {sender!r} cannot message itself")
-            if receiver not in self.neighbors(sender):
-                raise ProtocolError(
-                    f"{sender!r} and {receiver!r} are not adjacent; CONGEST only "
-                    "allows communication along edges"
-                )
-        if self.mode == "local":
-            chunk_rounds = 1
-        else:
-            max_bits = max(sizes.values())
-            chunk_rounds = max(1, math.ceil(max_bits / self.bandwidth_bits))
-        remaining = dict(sizes)
-        for _ in range(chunk_rounds):
-            round_bits = 0
-            round_max = 0
-            count = 0
-            budget = self.bandwidth_bits if self.mode == "congest" else max(remaining.values(), default=0)
-            for edge, left in list(remaining.items()):
-                if left <= 0:
-                    continue
-                sent = min(left, budget) if self.mode == "congest" else left
-                remaining[edge] = left - sent
-                round_bits += sent
-                round_max = max(round_max, sent)
-                count += 1
-            self.ledger.record_round(label, count, round_bits, round_max)
-        return {edge: unwrap(payload) for edge, payload in messages.items()}
+        return self.transport.exchange_chunked(messages, label=label)
 
     def broadcast_chunked(
         self,
         values: Mapping[Node, Any],
         label: str = "broadcast-chunked",
-    ) -> Dict[Node, Dict[Node, Any]]:
+    ) -> Dict[Node, Mapping[Node, Any]]:
         """Chunked variant of :meth:`broadcast` for payloads above the budget."""
-        messages: Dict[DirectedEdge, Any] = {}
-        for sender, payload in values.items():
-            for receiver in self.neighbors(sender):
-                messages[(sender, receiver)] = payload
-        delivered = self.exchange_chunked(messages, label=label)
-        inbox: Dict[Node, Dict[Node, Any]] = {v: {} for v in self.nodes}
-        for (sender, receiver), payload in delivered.items():
-            inbox[receiver][sender] = payload
-        return inbox
+        return self.transport.broadcast_chunked(values, label=label)
 
     def charge_silent_round(self, label: str = "silent") -> None:
         """Advance the round counter without sending anything.
@@ -295,15 +252,16 @@ class Network:
         Used when an algorithm must stay synchronised across phases even
         though some nodes have nothing to say this round.
         """
-        self.ledger.record_round(label, 0, 0, 0)
+        self.transport.charge_silent_round(label=label)
 
     # -------------------------------------------------------------- reporting
     def summary(self) -> Dict[str, Any]:
         """Return a compact dictionary describing resource usage so far."""
         return {
             "mode": self.mode,
+            "backend": self.backend,
             "nodes": self.number_of_nodes,
-            "edges": self.graph.number_of_edges(),
+            "edges": self.number_of_edges,
             "bandwidth_bits": self.bandwidth_bits,
             "rounds": self.ledger.rounds,
             "total_bits": self.ledger.total_bits,
@@ -313,7 +271,7 @@ class Network:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging convenience
         return (
-            f"Network(n={self.number_of_nodes}, m={self.graph.number_of_edges()}, "
-            f"mode={self.mode!r}, bandwidth={self.bandwidth_bits} bits, "
-            f"rounds={self.ledger.rounds})"
+            f"Network(n={self.number_of_nodes}, m={self.number_of_edges}, "
+            f"mode={self.mode!r}, backend={self.backend!r}, "
+            f"bandwidth={self.bandwidth_bits} bits, rounds={self.ledger.rounds})"
         )

@@ -32,13 +32,24 @@ class Simulator:
     Parameters
     ----------
     network:
-        The communication substrate (CONGEST or LOCAL).
+        The communication substrate (CONGEST or LOCAL, any transport
+        backend — the driver only uses the public ``Network`` interface).
     program:
         The per-node program to execute.
     seed:
         Seed for the per-node random streams.  Each node receives its own
         deterministic ``random.Random``, so results are reproducible and
         independent of node iteration order.
+
+    Each node's :class:`ProgramContext` is created once and reused every
+    round (its ``round_index`` is updated in place) — programs may rely on
+    the context identity being stable across rounds.  Consequently
+    ``ctx.rng`` is one continuously-advancing stream per node: draws in
+    ``init`` and successive rounds never repeat.  (Before contexts were
+    reused, the per-node rng was re-seeded identically every round, so a
+    program drawing in ``step`` saw the same sequence each round — almost
+    certainly never what an algorithm wants, but note the change if
+    comparing randomized node-program outputs across versions.)
     """
 
     def __init__(self, network: Network, program: NodeProgram, seed: int = 0):
@@ -49,30 +60,41 @@ class Simulator:
             v: NodeState(node=v) for v in network.nodes
         }
         self._round_index = 0
-        self._pending_inboxes: Dict[Node, Dict[Node, Any]] = {
-            v: {} for v in network.nodes
+        self._pending_inboxes: Dict[Node, Dict[Node, Any]] = {}
+        self._contexts: Dict[Node, ProgramContext] = {
+            v: ProgramContext(
+                network=network,
+                node=v,
+                state=self.states[v],
+                rng=self.rng_stream.for_node(v),
+                round_index=0,
+            )
+            for v in network.nodes
         }
         for v in network.nodes:
-            self.program.init(self._context(v))
+            self.program.init(self._contexts[v])
 
     def _context(self, node: Node) -> ProgramContext:
-        return ProgramContext(
-            network=self.network,
-            node=node,
-            state=self.states[node],
-            rng=self.rng_stream.for_node(node),
-            round_index=self._round_index,
-        )
+        ctx = self._contexts[node]
+        ctx.round_index = self._round_index
+        return ctx
 
     def step(self, label: Optional[str] = None) -> bool:
         """Execute one synchronous round.  Returns True if any node is active."""
-        active = [v for v in self.network.nodes if not self.states[v].halted]
+        states = self.states
+        active = [v for v in self.network.nodes if not states[v].halted]
         if not active:
             return False
+        contexts = self._contexts
+        pending = self._pending_inboxes
+        round_index = self._round_index
         outgoing: Dict[tuple, Any] = {}
         for v in active:
-            ctx = self._context(v)
-            sends = self.program.step(ctx, self._pending_inboxes.get(v, {}))
+            ctx = contexts[v]
+            ctx.round_index = round_index
+            # Programs always get a private mutable dict (the historical
+            # contract); empty ones are only allocated for active nodes.
+            sends = self.program.step(ctx, pending.get(v) or {})
             if not sends:
                 continue
             for receiver, payload in sends.items():
@@ -80,12 +102,18 @@ class Simulator:
         delivered = self.network.exchange(
             outgoing, label=label or type(self.program).__name__
         )
-        next_inboxes: Dict[Node, Dict[Node, Any]] = {v: {} for v in self.network.nodes}
+        # Inboxes are allocated only for nodes that actually received mail;
+        # everyone else reads the shared empty inbox above.
+        next_inboxes: Dict[Node, Dict[Node, Any]] = {}
         for (sender, receiver), payload in delivered.items():
-            next_inboxes[receiver][sender] = payload
+            box = next_inboxes.get(receiver)
+            if box is None:
+                box = {}
+                next_inboxes[receiver] = box
+            box[sender] = payload
         self._pending_inboxes = next_inboxes
         self._round_index += 1
-        return any(not self.states[v].halted for v in self.network.nodes)
+        return any(not states[v].halted for v in self.network.nodes)
 
     def run(self, max_rounds: int = 10_000, label: Optional[str] = None) -> SimulationResult:
         """Run until every node halts or ``max_rounds`` rounds have elapsed."""

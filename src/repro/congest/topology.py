@@ -1,0 +1,149 @@
+"""Immutable graph topology with CSR-style adjacency.
+
+:class:`Topology` is the structural half of the communication engine (see
+DESIGN.md): it is built once from a ``networkx`` graph and never mutated, so
+every view the transports and algorithms need — the node list, per-node
+neighbor sets, degrees, the contiguous node index — is computed once and
+cached.  The CSR arrays (``indptr``/``indices`` over the contiguous index)
+give later vectorized/sharded backends a dense representation to work from
+without retraversing the ``networkx`` structure.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, Hashable, Iterator, List, Tuple
+
+import networkx as nx
+
+from repro.congest.errors import ProtocolError
+
+Node = Hashable
+
+
+class Topology:
+    """Immutable adjacency structure extracted from an undirected graph.
+
+    Parameters
+    ----------
+    graph:
+        The communication graph.  Self-loops are rejected (CONGEST networks
+        are simple graphs).  The graph object is kept only as a reference for
+        callers that need ``networkx`` algorithms; all hot-path queries are
+        answered from the cached structures.
+    """
+
+    __slots__ = (
+        "graph",
+        "_nodes",
+        "_index",
+        "_neighbor_sets",
+        "_degrees",
+        "indptr",
+        "indices",
+        "_number_of_edges",
+        "_max_degree",
+    )
+
+    def __init__(self, graph: nx.Graph):
+        if any(u == v for u, v in graph.edges()):
+            raise ProtocolError("self-loops are not allowed in a CONGEST network")
+        self.graph = graph
+        self._nodes: Tuple[Node, ...] = tuple(graph.nodes())
+        self._index: Dict[Node, int] = {v: i for i, v in enumerate(self._nodes)}
+        neighbor_sets: Dict[Node, frozenset] = {}
+        degrees: Dict[Node, int] = {}
+        indptr = array("l", [0])
+        indices = array("l")
+        index = self._index
+        for v in self._nodes:
+            nbrs = frozenset(graph.neighbors(v))
+            neighbor_sets[v] = nbrs
+            degrees[v] = len(nbrs)
+            indices.extend(sorted(index[u] for u in nbrs))
+            indptr.append(len(indices))
+        self._neighbor_sets = neighbor_sets
+        self._degrees = degrees
+        self.indptr = indptr
+        self.indices = indices
+        self._number_of_edges = len(indices) // 2
+        self._max_degree = max(degrees.values(), default=0)
+
+    # ------------------------------------------------------------------- views
+    @property
+    def nodes(self) -> Tuple[Node, ...]:
+        """All nodes, in insertion order (cached; never rebuilt)."""
+        return self._nodes
+
+    @property
+    def number_of_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def number_of_edges(self) -> int:
+        return self._number_of_edges
+
+    @property
+    def neighbor_sets(self) -> Dict[Node, frozenset]:
+        """The per-node neighbor sets (treat as read-only)."""
+        return self._neighbor_sets
+
+    def neighbors(self, v: Node) -> frozenset:
+        try:
+            return self._neighbor_sets[v]
+        except KeyError:
+            raise ProtocolError(f"node {v!r} is not in the network") from None
+
+    def degree(self, v: Node) -> int:
+        try:
+            return self._degrees[v]
+        except KeyError:
+            raise ProtocolError(f"node {v!r} is not in the network") from None
+
+    def max_degree(self) -> int:
+        return self._max_degree
+
+    def are_adjacent(self, u: Node, v: Node) -> bool:
+        return v in self.neighbors(u)
+
+    def has_node(self, v: Node) -> bool:
+        return v in self._index
+
+    def edges(self) -> Iterator[Tuple[Node, Node]]:
+        """Each undirected edge once, as ``(u, v)`` with ``index(u) < index(v)``."""
+        nodes = self._nodes
+        indptr = self.indptr
+        indices = self.indices
+        for i, u in enumerate(nodes):
+            for j in indices[indptr[i]:indptr[i + 1]]:
+                if i < j:
+                    yield (u, nodes[j])
+
+    # ----------------------------------------------------------- index helpers
+    def index_of(self, v: Node) -> int:
+        """Contiguous index of ``v`` in ``[0, n)`` (stable for this topology)."""
+        try:
+            return self._index[v]
+        except KeyError:
+            raise ProtocolError(f"node {v!r} is not in the network") from None
+
+    def node_at(self, i: int) -> Node:
+        """Inverse of :meth:`index_of`.
+
+        Rejects any index outside ``[0, n)`` — including negative ones, so an
+        index-arithmetic underflow fails loudly instead of silently aliasing
+        Python's wrap-around indexing.
+        """
+        if not 0 <= i < len(self._nodes):
+            raise ProtocolError(f"node index {i} out of range")
+        return self._nodes[i]
+
+    def neighbor_indices(self, i: int) -> List[int]:
+        """CSR neighbor slice of the node with contiguous index ``i``."""
+        return list(self.indices[self.indptr[i]:self.indptr[i + 1]])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return (
+            f"Topology(n={self.number_of_nodes}, m={self.number_of_edges}, "
+            f"max_degree={self._max_degree})"
+        )

@@ -1,0 +1,376 @@
+"""Pluggable message-transport backends for the CONGEST/LOCAL engine.
+
+A :class:`Transport` owns the *mechanics* of a synchronous round — validating
+edges, sizing payloads, enforcing the bandwidth budget, delivering messages
+and reporting the round to the ledger — on top of an immutable
+:class:`~repro.congest.topology.Topology`.  Two backends are provided:
+
+* :class:`DictTransport` processes one message at a time, exactly as the
+  original ``Network.exchange`` did: validate, size, budget-check and deliver
+  each entry in order.  It is the reference semantics.
+* :class:`BatchTransport` (the default) sizes payloads in bulk with a
+  per-round memo for repeated payload objects, defers the bandwidth check to
+  a single audit after sizing, and computes chunked-stream accounting
+  arithmetically instead of simulating every chunk round edge by edge.
+
+Broadcast inboxes from **both** backends are read-only views: silent nodes
+share one immutable empty mapping instead of each allocating a dict every
+round (``{v: {} for v in nodes}`` used to dominate broadcast cost on large
+sparse rounds).  Callers that want to mutate an inbox must copy it.
+
+The paper-fidelity contract (see DESIGN.md) is that both backends produce
+**identical ledgers** — the same rounds, labels, message counts, total bits
+and per-round maxima — and deliver the same payloads for the same inputs.
+The cross-backend equivalence suite enforces this.
+"""
+
+from __future__ import annotations
+
+import math
+from types import MappingProxyType
+from typing import Any, Dict, Hashable, Iterable, List, Mapping, Optional, Tuple
+
+from repro.congest.bandwidth import payload_bits
+from repro.congest.errors import BandwidthExceeded, ProtocolError
+from repro.congest.message import Message, unwrap
+from repro.congest.topology import Topology
+from repro.metrics.ledger import Ledger
+
+Node = Hashable
+DirectedEdge = Tuple[Node, Node]
+
+#: Shared read-only inbox for nodes that received nothing this round.
+EMPTY_INBOX: Mapping[Node, Any] = MappingProxyType({})
+
+
+def _memoized_bits(payload: Any, memo: Dict[int, int]) -> int:
+    """Charge for ``payload``, memoized by object identity within one round.
+
+    The single sizing rule for every batched path (exchange and chunked):
+    a ``Message`` is charged its declared bits; anything else goes through
+    :func:`payload_bits` once per distinct object (a broadcast reuses one
+    payload object for all recipients).  Identity keys are safe because the
+    caller's message mapping keeps every payload alive for the whole round.
+    """
+    if isinstance(payload, Message):
+        return payload.bits
+    key = id(payload)
+    bits = memo.get(key)
+    if bits is None:
+        bits = payload_bits(payload)
+        memo[key] = bits
+    return bits
+
+
+class Transport:
+    """Base class: delivery mechanics over a topology, charged to a ledger."""
+
+    name = "abstract"
+
+    def __init__(self, topology: Topology, mode: str, bandwidth_bits: int,
+                 ledger: Ledger):
+        self.topology = topology
+        self.mode = mode
+        self.bandwidth_bits = int(bandwidth_bits)
+        self.ledger = ledger
+
+    # ------------------------------------------------------------- primitives
+    def exchange(self, messages: Mapping[DirectedEdge, Any],
+                 label: str = "exchange") -> Dict[DirectedEdge, Any]:
+        raise NotImplementedError
+
+    def broadcast(
+        self,
+        values: Mapping[Node, Any],
+        label: str = "broadcast",
+        senders_only_to: Optional[Mapping[Node, Iterable[Node]]] = None,
+    ) -> Dict[Node, Mapping[Node, Any]]:
+        raise NotImplementedError
+
+    def charge_silent_round(self, label: str = "silent") -> None:
+        self.ledger.record_round(label, 0, 0, 0)
+
+    # ---------------------------------------------------------------- chunked
+    def _sizes(self, messages: Mapping[DirectedEdge, Any]) -> Dict[DirectedEdge, int]:
+        """Size every payload (backends may memoize repeated payloads)."""
+        return {edge: payload_bits(payload) for edge, payload in messages.items()}
+
+    def _validate_edge(self, sender: Node, receiver: Node) -> None:
+        if sender == receiver:
+            raise ProtocolError(f"node {sender!r} cannot message itself")
+        if receiver not in self.topology.neighbors(sender):
+            raise ProtocolError(
+                f"{sender!r} and {receiver!r} are not adjacent; CONGEST only "
+                "allows communication along edges"
+            )
+
+    def exchange_chunked(
+        self,
+        messages: Mapping[DirectedEdge, Any],
+        label: str = "exchange-chunked",
+    ) -> Dict[DirectedEdge, Any]:
+        """Deliver messages that may exceed the per-round budget.
+
+        CONGEST allows a long message to be streamed over several rounds, one
+        budget-sized chunk per round; all messages stream in parallel on their
+        own edges, so the cost is ``ceil(max_message_bits / budget)`` rounds.
+        In LOCAL mode this is exactly one round charged with the true
+        per-edge sizes, identical to what :meth:`exchange` would charge.
+
+        The per-round ledger entries mirror a chunk-by-chunk simulation: in
+        each round every still-streaming edge contributes ``budget`` bits
+        (or its final remainder), and every message is counted once per round
+        it occupies its edge.
+        """
+        if not messages:
+            self.ledger.record_round(label, 0, 0, 0)
+            return {}
+        for sender, receiver in messages:
+            self._validate_edge(sender, receiver)
+        sizes = self._sizes(messages)
+        if self.mode == "local":
+            # Exactly one round, charged with the true per-edge sizes — the
+            # same record exchange() would produce for these messages.
+            self.ledger.record_round(
+                label, len(sizes), sum(sizes.values()), max(sizes.values())
+            )
+        else:
+            self._charge_chunked_rounds(label, sizes)
+        return {edge: unwrap(payload) for edge, payload in messages.items()}
+
+    def _charge_chunked_rounds(self, label: str, sizes: Mapping[DirectedEdge, int]) -> None:
+        """Charge the CONGEST chunk rounds arithmetically (O(edges + rounds)).
+
+        Equivalent to simulating every round over every edge, but grouped by
+        each message's chunk count so large fan-outs do not pay
+        ``O(rounds * edges)`` in Python.
+        """
+        budget = self.bandwidth_bits
+        zero_count = 0
+        finish_count: Dict[int, int] = {}
+        finish_bits: Dict[int, int] = {}
+        finish_max: Dict[int, int] = {}
+        total_rounds = 1
+        for bits in sizes.values():
+            if bits <= 0:
+                zero_count += 1
+                continue
+            chunks = -(-bits // budget)  # ceil
+            remainder = bits - (chunks - 1) * budget
+            finish_count[chunks] = finish_count.get(chunks, 0) + 1
+            finish_bits[chunks] = finish_bits.get(chunks, 0) + remainder
+            if remainder > finish_max.get(chunks, 0):
+                finish_max[chunks] = remainder
+            if chunks > total_rounds:
+                total_rounds = chunks
+        streaming = sum(finish_count.values())  # edges still active this round
+        record = self.ledger.record_round
+        for r in range(1, total_rounds + 1):
+            finishing = finish_count.get(r, 0)
+            full = streaming - finishing  # edges that send a full budget chunk
+            count = streaming + (zero_count if r == 1 else 0)
+            bits = budget * full + finish_bits.get(r, 0)
+            max_bits = budget if full > 0 else finish_max.get(r, 0)
+            record(label, count, bits, max_bits)
+            streaming -= finishing
+
+    def broadcast_chunked(
+        self,
+        values: Mapping[Node, Any],
+        label: str = "broadcast-chunked",
+    ) -> Dict[Node, Mapping[Node, Any]]:
+        """Chunked variant of :meth:`broadcast` for payloads above the budget."""
+        messages: Dict[DirectedEdge, Any] = {}
+        for sender, payload in values.items():
+            for receiver in self.topology.neighbors(sender):
+                messages[(sender, receiver)] = payload
+        delivered = self.exchange_chunked(messages, label=label)
+        return self._inboxes(delivered)
+
+    def _inboxes(self, delivered: Mapping[DirectedEdge, Any]) -> Dict[Node, Mapping[Node, Any]]:
+        """Group delivered messages into one inbox per node.
+
+        Both backends share this: real dicts are allocated only for nodes
+        that actually received something; every silent node gets the one
+        shared immutable empty mapping.  Inboxes are read-only views —
+        callers that want to mutate must copy (no in-repo algorithm does).
+        """
+        inbox: Dict[Node, Mapping[Node, Any]] = dict.fromkeys(
+            self.topology.nodes, EMPTY_INBOX
+        )
+        for (sender, receiver), payload in delivered.items():
+            box = inbox[receiver]
+            if box is EMPTY_INBOX:
+                box = {}
+                inbox[receiver] = box
+            box[sender] = payload
+        return inbox
+
+
+class DictTransport(Transport):
+    """Reference backend: per-message validation, sizing and budget checks.
+
+    This preserves the original ``Network.exchange`` semantics entry by
+    entry — including the order in which violations are detected — and is
+    the backend the equivalence suite measures :class:`BatchTransport`
+    against.
+    """
+
+    name = "dict"
+
+    def exchange(self, messages: Mapping[DirectedEdge, Any],
+                 label: str = "exchange") -> Dict[DirectedEdge, Any]:
+        total_bits = 0
+        max_edge_bits = 0
+        delivered: Dict[DirectedEdge, Any] = {}
+        congest = self.mode == "congest"
+        for (sender, receiver), payload in messages.items():
+            self._validate_edge(sender, receiver)
+            bits = payload_bits(payload)
+            if congest and bits > self.bandwidth_bits:
+                raise BandwidthExceeded(
+                    (sender, receiver), bits, self.bandwidth_bits, label
+                )
+            total_bits += bits
+            max_edge_bits = max(max_edge_bits, bits)
+            delivered[(sender, receiver)] = unwrap(payload)
+        self.ledger.record_round(label, len(delivered), total_bits, max_edge_bits)
+        return delivered
+
+    def broadcast(
+        self,
+        values: Mapping[Node, Any],
+        label: str = "broadcast",
+        senders_only_to: Optional[Mapping[Node, Iterable[Node]]] = None,
+    ) -> Dict[Node, Mapping[Node, Any]]:
+        messages: Dict[DirectedEdge, Any] = {}
+        for sender, payload in values.items():
+            recipients = (
+                self.topology.neighbors(sender)
+                if senders_only_to is None or sender not in senders_only_to
+                else senders_only_to[sender]
+            )
+            for receiver in recipients:
+                if receiver not in self.topology.neighbors(sender):
+                    raise ProtocolError(
+                        f"{sender!r} cannot broadcast to non-neighbour {receiver!r}"
+                    )
+                messages[(sender, receiver)] = payload
+        delivered = self.exchange(messages, label=label)
+        return self._inboxes(delivered)
+
+
+class BatchTransport(Transport):
+    """Fast backend: bulk sizing, deferred audit, shared inbox buffers.
+
+    The observable behavior (delivered payloads, ledger entries) matches
+    :class:`DictTransport` for every in-budget round.  On violating rounds
+    the *reported* error may differ: edges are validated inline but the
+    budget audit is deferred to the end of the round, so with several
+    violations in one round ``dict`` raises for the first offending entry in
+    iteration order while ``batch`` raises the edge error it hits first or a
+    :class:`BandwidthExceeded` for the largest payload.  Either way the round
+    is rejected before it is recorded.
+    """
+
+    name = "batch"
+
+    def _bad_edge(self, sender: Node, receiver: Node) -> None:
+        """Raise the same ProtocolError the reference backend would."""
+        if sender == receiver:
+            raise ProtocolError(f"node {sender!r} cannot message itself")
+        self.topology.neighbors(sender)  # raises for unknown sender
+        raise ProtocolError(
+            f"{sender!r} and {receiver!r} are not adjacent; CONGEST only "
+            "allows communication along edges"
+        )
+
+    def _deliver(self, messages: Mapping[DirectedEdge, Any], label: str,
+                 validate: bool) -> Dict[DirectedEdge, Any]:
+        neighbor_sets = self.topology.neighbor_sets
+        total_bits = 0
+        max_edge_bits = 0
+        worst_edge: Optional[DirectedEdge] = None
+        delivered: Dict[DirectedEdge, Any] = {}
+        size_memo: Dict[int, int] = {}
+        for edge, payload in messages.items():
+            if validate:
+                sender, receiver = edge
+                nbrs = neighbor_sets.get(sender)
+                if nbrs is None or receiver not in nbrs:
+                    self._bad_edge(sender, receiver)
+            bits = _memoized_bits(payload, size_memo)
+            delivered[edge] = payload.content if isinstance(payload, Message) else payload
+            total_bits += bits
+            if bits > max_edge_bits:
+                max_edge_bits = bits
+                worst_edge = edge
+        if (
+            self.mode == "congest"
+            and max_edge_bits > self.bandwidth_bits
+            and worst_edge is not None
+        ):
+            raise BandwidthExceeded(
+                worst_edge, max_edge_bits, self.bandwidth_bits, label
+            )
+        self.ledger.record_round(label, len(delivered), total_bits, max_edge_bits)
+        return delivered
+
+    def exchange(self, messages: Mapping[DirectedEdge, Any],
+                 label: str = "exchange") -> Dict[DirectedEdge, Any]:
+        return self._deliver(messages, label, validate=True)
+
+    def broadcast(
+        self,
+        values: Mapping[Node, Any],
+        label: str = "broadcast",
+        senders_only_to: Optional[Mapping[Node, Iterable[Node]]] = None,
+    ) -> Dict[Node, Mapping[Node, Any]]:
+        neighbors = self.topology.neighbors
+        messages: Dict[DirectedEdge, Any] = {}
+        for sender, payload in values.items():
+            nbrs = neighbors(sender)  # validates the sender exists
+            if senders_only_to is not None and sender in senders_only_to:
+                for receiver in senders_only_to[sender]:
+                    if receiver not in nbrs:
+                        raise ProtocolError(
+                            f"{sender!r} cannot broadcast to non-neighbour {receiver!r}"
+                        )
+                    messages[(sender, receiver)] = payload
+            else:
+                for receiver in nbrs:
+                    messages[(sender, receiver)] = payload
+        # Recipients were validated above, so delivery can skip edge checks.
+        delivered = self._deliver(messages, label, validate=False)
+        return self._inboxes(delivered)
+
+    def _sizes(self, messages: Mapping[DirectedEdge, Any]) -> Dict[DirectedEdge, int]:
+        size_memo: Dict[int, int] = {}
+        return {
+            edge: _memoized_bits(payload, size_memo)
+            for edge, payload in messages.items()
+        }
+
+
+_TRANSPORT_KINDS = {
+    "dict": DictTransport,
+    "batch": BatchTransport,
+}
+
+#: Backends selectable via ``Network(backend=...)``.
+TRANSPORT_BACKENDS: Tuple[str, ...] = tuple(sorted(_TRANSPORT_KINDS))
+
+
+def make_transport(backend, topology: Topology, mode: str, bandwidth_bits: int,
+                   ledger: Ledger) -> Transport:
+    """Build a transport from a backend name (``"dict"`` / ``"batch"``)."""
+    if isinstance(backend, Transport):
+        return backend
+    try:
+        cls = _TRANSPORT_KINDS[backend]
+    except (KeyError, TypeError):
+        raise ValueError(
+            f"unknown transport backend: {backend!r} "
+            f"(expected one of {list(TRANSPORT_BACKENDS)})"
+        ) from None
+    return cls(topology, mode, bandwidth_bits, ledger)

@@ -63,12 +63,25 @@ def solve_instance(
     mode: str = "congest",
     bandwidth_bits: Optional[int] = None,
     seed: Optional[int] = None,
+    backend: str = "batch",
+    ledger: str = "records",
 ) -> ColoringResult:
-    """Run the full D1LC pipeline on a prepared instance."""
+    """Run the full D1LC pipeline on a prepared instance.
+
+    ``backend`` selects the transport engine (``"batch"`` / ``"dict"``) and
+    ``ledger`` the accounting depth (``"records"`` / ``"counters"``); both
+    choices change performance only, never the reported rounds or bits.
+    """
     params = params or ColoringParameters.small()
     if seed is not None:
         params = params.with_seed(seed)
-    network = Network(instance.graph, mode=mode, bandwidth_bits=bandwidth_bits)
+    network = Network(
+        instance.graph,
+        mode=mode,
+        bandwidth_bits=bandwidth_bits,
+        backend=backend,
+        ledger=ledger,
+    )
     state = ColoringState(instance, network, params)
 
     for _iteration in range(max(1, params.max_phase_iterations)):
@@ -97,19 +110,23 @@ def solve_d1lc(
     bandwidth_bits: Optional[int] = None,
     seed: Optional[int] = None,
     color_space: Optional[ColorSpace] = None,
+    backend: str = "batch",
+    ledger: str = "records",
 ) -> ColoringResult:
     """Solve (degree+1)-list-coloring on ``graph`` (Theorem 1).
 
     ``lists`` maps every node to its palette (at least ``d_v + 1`` colors); if
     omitted, the numeric D1C palettes ``{0..d_v}`` are used.  ``mode`` selects
-    CONGEST (default) or LOCAL bandwidth accounting.
+    CONGEST (default) or LOCAL bandwidth accounting, ``backend`` the transport
+    engine (``"batch"`` / ``"dict"``).
     """
     if lists is None:
         instance = ColoringInstance.d1c(graph)
     else:
         instance = ColoringInstance.d1lc(graph, lists, color_space=color_space)
     return solve_instance(
-        instance, params=params, mode=mode, bandwidth_bits=bandwidth_bits, seed=seed
+        instance, params=params, mode=mode, bandwidth_bits=bandwidth_bits,
+        seed=seed, backend=backend, ledger=ledger,
     )
 
 
@@ -118,9 +135,14 @@ def solve_d1c(
     params: Optional[ColoringParameters] = None,
     mode: str = "congest",
     seed: Optional[int] = None,
+    backend: str = "batch",
+    ledger: str = "records",
 ) -> ColoringResult:
     """Solve (deg+1)-coloring (Corollary 1)."""
-    return solve_instance(ColoringInstance.d1c(graph), params=params, mode=mode, seed=seed)
+    return solve_instance(
+        ColoringInstance.d1c(graph), params=params, mode=mode, seed=seed,
+        backend=backend, ledger=ledger,
+    )
 
 
 def solve_delta_plus_one(
@@ -128,8 +150,11 @@ def solve_delta_plus_one(
     params: Optional[ColoringParameters] = None,
     mode: str = "congest",
     seed: Optional[int] = None,
+    backend: str = "batch",
+    ledger: str = "records",
 ) -> ColoringResult:
     """Solve (Δ+1)-coloring with the same pipeline."""
     return solve_instance(
-        ColoringInstance.delta_plus_one(graph), params=params, mode=mode, seed=seed
+        ColoringInstance.delta_plus_one(graph), params=params, mode=mode,
+        seed=seed, backend=backend, ledger=ledger,
     )

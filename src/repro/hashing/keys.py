@@ -16,19 +16,30 @@ import hashlib
 from functools import lru_cache
 
 _MASK64 = (1 << 64) - 1
+MIX64_INIT = 0x9E3779B97F4A7C15
+
+
+def mix64_step(acc: int, value: int) -> int:
+    """One mixing round: fold ``value`` into the accumulator ``acc``.
+
+    Exposed so hot paths (e.g. hash functions with a fixed ``(seed, index)``
+    prefix) can precompute a partial accumulator and pay for a single round
+    per evaluation; ``mix64(a, b, c)`` is exactly three chained steps.
+    """
+    acc = (acc ^ (value & _MASK64)) & _MASK64
+    # splitmix64 finaliser
+    acc = (acc + 0x9E3779B97F4A7C15) & _MASK64
+    z = acc
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (z ^ (z >> 31)) & _MASK64
 
 
 def mix64(*values: int) -> int:
     """Mix integers into a 64-bit value with good avalanche behaviour."""
-    acc = 0x9E3779B97F4A7C15
+    acc = MIX64_INIT
     for value in values:
-        acc = (acc ^ (value & _MASK64)) & _MASK64
-        # splitmix64 finaliser
-        acc = (acc + 0x9E3779B97F4A7C15) & _MASK64
-        z = acc
-        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
-        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
-        acc = (z ^ (z >> 31)) & _MASK64
+        acc = mix64_step(acc, value)
     return acc
 
 
@@ -38,6 +49,20 @@ def _key_of_repr(text: str) -> int:
     return int.from_bytes(digest, "big")
 
 
+@lru_cache(maxsize=1 << 18)
+def _combine_part_keys(part_keys: tuple) -> int:
+    """Mix already-computed per-part keys into a tuple key.
+
+    The cache is keyed on the *part keys* (always ints), never on the tuple
+    itself: Python equality unifies values whose keys differ (``1 == 1.0``,
+    ``0.0 == -0.0``), so caching by tuple value would make the result depend
+    on which variant warmed the cache first.  Part keys are exact by
+    construction, so the cached result is always identical to the uncached
+    computation.
+    """
+    return mix64(*part_keys, 0x7157)
+
+
 def element_key(element: object) -> int:
     """Return a stable 64-bit integer key for ``element``."""
     if isinstance(element, bool):
@@ -45,5 +70,8 @@ def element_key(element: object) -> int:
     if isinstance(element, int):
         return element & _MASK64 if element >= 0 else mix64(-element, 0x5A5A5A5A)
     if isinstance(element, tuple):
-        return mix64(*(element_key(part) for part in element), 0x7157)
+        # Scaled-set tuples are rehashed for every family member and every
+        # edge that touches them; int parts key instantly and repr-keyed
+        # parts hit the _key_of_repr cache, so only the mix is memoized.
+        return _combine_part_keys(tuple(map(element_key, element)))
     return _key_of_repr(repr(element))

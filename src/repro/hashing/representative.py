@@ -34,7 +34,7 @@ import math
 from dataclasses import dataclass
 from typing import Hashable, Optional
 
-from repro.hashing.keys import element_key, mix64
+from repro.hashing.keys import MIX64_INIT, element_key, mix64, mix64_step
 
 #: Hard cap on the family size used for *communication accounting*.  Lemma 1's
 #: family has size ``Theta(beta * lambda / nu * log|U|)``; transmitting an
@@ -115,15 +115,28 @@ class RepresentativeHashFunction:
     Hash values are 1-based (``1 .. lambda``), matching the paper's ``[lambda]``.
     """
 
-    __slots__ = ("family_seed", "index", "lam")
+    __slots__ = ("family_seed", "index", "lam", "_prefix", "_memo")
 
     def __init__(self, family_seed: int, index: int, lam: int):
         self.family_seed = int(family_seed)
         self.index = int(index)
         self.lam = int(lam)
+        # mix64(seed, index, key) == one step over the (seed, index) prefix,
+        # so the prefix accumulator is computed once per function.  Values
+        # are memoized by the element's 64-bit *key* (never by the element
+        # itself: Python equality would alias 1 and 1.0, whose keys differ),
+        # because the set primitives evaluate ``h`` on the same elements
+        # several times per round.
+        self._prefix = mix64_step(mix64_step(MIX64_INIT, self.family_seed), self.index)
+        self._memo = {}
 
     def __call__(self, element: Hashable) -> int:
-        return 1 + mix64(self.family_seed, self.index, element_key(element)) % self.lam
+        key = element_key(element)
+        value = self._memo.get(key)
+        if value is None:
+            value = 1 + mix64_step(self._prefix, key) % self.lam
+            self._memo[key] = value
+        return value
 
     def __repr__(self) -> str:  # pragma: no cover - debugging convenience
         return f"RepresentativeHashFunction(index={self.index}, lam={self.lam})"
@@ -159,6 +172,7 @@ class RepresentativeHashFamily:
             sigma_cap=sigma_cap,
         )
         self._seed = mix64(seed, element_key(universe_label), self.params.lam)
+        self._members: dict = {}
 
     # ----------------------------------------------------------------- access
     @property
@@ -178,10 +192,15 @@ class RepresentativeHashFamily:
         return self.params.index_bits
 
     def member(self, index: int) -> RepresentativeHashFunction:
-        """Return the ``index``-th member of the family."""
+        """Return the ``index``-th member of the family (cached per family,
+        so a member's value memo survives repeated lookups of the same index)."""
         if not 0 <= index < self.size:
             raise IndexError(f"index {index} outside family of size {self.size}")
-        return RepresentativeHashFunction(self._seed, index, self.lam)
+        fn = self._members.get(index)
+        if fn is None:
+            fn = RepresentativeHashFunction(self._seed, index, self.lam)
+            self._members[index] = fn
+        return fn
 
     def __len__(self) -> int:
         return self.size

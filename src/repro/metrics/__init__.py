@@ -1,11 +1,29 @@
 """Experiment metrics, validity checking and reporting helpers."""
 
-from repro.metrics.ledger import ExperimentRecord, RoundBudgetCheck, summarize_ledger
+from repro.metrics.ledger import (
+    BandwidthLedger,
+    CounterLedger,
+    ExperimentRecord,
+    Ledger,
+    RecordingLedger,
+    RoundBudgetCheck,
+    RoundRecord,
+    make_ledger,
+    rounds_by_phase,
+    summarize_ledger,
+)
 from repro.metrics.report import format_table, format_series
 
 __all__ = [
+    "BandwidthLedger",
+    "CounterLedger",
     "ExperimentRecord",
+    "Ledger",
+    "RecordingLedger",
     "RoundBudgetCheck",
+    "RoundRecord",
+    "make_ledger",
+    "rounds_by_phase",
     "summarize_ledger",
     "format_table",
     "format_series",

@@ -1,11 +1,166 @@
-"""Experiment-level accounting built on top of the network ledger."""
+"""Bandwidth ledgers and experiment-level accounting.
+
+The ledger is the accounting half of the communication engine (see
+DESIGN.md): every transport backend reports each synchronous round to a
+ledger via :meth:`Ledger.record_round`, and the ledger aggregates rounds,
+bits and messages.  Two implementations are provided:
+
+* :class:`RecordingLedger` (the default, historically named
+  ``BandwidthLedger``) keeps a full per-round :class:`RoundRecord` history —
+  what the benchmarks and the phase breakdowns consume;
+* :class:`CounterLedger` keeps only the aggregate counters plus per-label
+  round counts, for big runs where a million :class:`RoundRecord` objects
+  would dominate memory.
+
+Both report identical headline numbers (``rounds``, ``total_bits``,
+``total_messages``, ``max_edge_bits``) for the same execution; the
+paper-fidelity invariant is that swapping the ledger never changes what is
+charged, only what is remembered.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Union
 
-from repro.congest.network import BandwidthLedger, Network
+
+@dataclass
+class RoundRecord:
+    """Accounting for a single synchronous round."""
+
+    index: int
+    label: str
+    message_count: int
+    total_bits: int
+    max_edge_bits: int
+
+
+class Ledger:
+    """Base class: aggregate communication statistics over an execution."""
+
+    __slots__ = ("rounds", "total_bits", "total_messages", "max_edge_bits")
+
+    def __init__(self) -> None:
+        self.rounds = 0
+        self.total_bits = 0
+        self.total_messages = 0
+        self.max_edge_bits = 0
+
+    def record_round(self, label: str, message_count: int, total_bits: int,
+                     max_edge_bits: int) -> None:
+        raise NotImplementedError
+
+    def _bump(self, message_count: int, total_bits: int, max_edge_bits: int) -> None:
+        self.rounds += 1
+        self.total_bits += total_bits
+        self.total_messages += message_count
+        if max_edge_bits > self.max_edge_bits:
+            self.max_edge_bits = max_edge_bits
+
+    def rounds_by_label(self) -> Dict[str, int]:
+        """Number of rounds spent under each label (useful in benchmarks)."""
+        raise NotImplementedError
+
+
+class RecordingLedger(Ledger):
+    """Full-history ledger: keeps one :class:`RoundRecord` per round."""
+
+    __slots__ = ("records",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.records: List[RoundRecord] = []
+
+    def record_round(self, label: str, message_count: int, total_bits: int,
+                     max_edge_bits: int) -> None:
+        self._bump(message_count, total_bits, max_edge_bits)
+        self.records.append(
+            RoundRecord(
+                index=self.rounds,
+                label=label,
+                message_count=message_count,
+                total_bits=total_bits,
+                max_edge_bits=max_edge_bits,
+            )
+        )
+
+    def rounds_by_label(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for record in self.records:
+            counts[record.label] = counts.get(record.label, 0) + 1
+        return counts
+
+
+#: Historical name, kept because algorithms and tests refer to it.
+BandwidthLedger = RecordingLedger
+
+
+class CounterLedger(Ledger):
+    """Counters-only ledger for big runs: no per-round history.
+
+    Per-label round counts are still maintained (a dict increment per round)
+    because the phase breakdowns in results depend on them; everything else is
+    a plain counter.  ``records`` is always empty.
+    """
+
+    __slots__ = ("_label_rounds",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._label_rounds: Dict[str, int] = {}
+
+    @property
+    def records(self) -> List[RoundRecord]:
+        return []
+
+    def record_round(self, label: str, message_count: int, total_bits: int,
+                     max_edge_bits: int) -> None:
+        self._bump(message_count, total_bits, max_edge_bits)
+        self._label_rounds[label] = self._label_rounds.get(label, 0) + 1
+
+    def rounds_by_label(self) -> Dict[str, int]:
+        return dict(self._label_rounds)
+
+
+_LEDGER_KINDS = {
+    "records": RecordingLedger,
+    "full": RecordingLedger,
+    "counters": CounterLedger,
+}
+
+
+def ledger_class(spec: Union[str, Ledger]) -> type:
+    """Resolve a ledger spec (kind name or instance) to its concrete class."""
+    if isinstance(spec, Ledger):
+        return type(spec)
+    try:
+        return _LEDGER_KINDS[spec]
+    except (KeyError, TypeError):
+        raise ValueError(
+            f"unknown ledger kind: {spec!r} (expected one of {sorted(_LEDGER_KINDS)} "
+            "or a Ledger instance)"
+        ) from None
+
+
+def make_ledger(spec: Union[str, Ledger, None] = "records") -> Ledger:
+    """Build a ledger from a spec: a kind name, an instance, or ``None``.
+
+    ``"records"`` (default) keeps the full round history; ``"counters"``
+    keeps aggregates only.  Passing an existing :class:`Ledger` instance
+    returns it unchanged (so an experiment can share one ledger across
+    several networks).
+    """
+    if spec is None:
+        return RecordingLedger()
+    if isinstance(spec, Ledger):
+        return spec
+    try:
+        return _LEDGER_KINDS[spec]()
+    except (KeyError, TypeError):
+        raise ValueError(
+            f"unknown ledger kind: {spec!r} (expected one of {sorted(_LEDGER_KINDS)} "
+            "or a Ledger instance)"
+        ) from None
 
 
 @dataclass
@@ -35,9 +190,9 @@ class ExperimentRecord:
         return row
 
 
-def summarize_ledger(network: Network) -> Dict[str, float]:
+def summarize_ledger(network) -> Dict[str, float]:
     """Extract the headline resource numbers from a network's ledger."""
-    ledger: BandwidthLedger = network.ledger
+    ledger = network.ledger
     return {
         "rounds": float(ledger.rounds),
         "total_bits": float(ledger.total_bits),
@@ -45,12 +200,12 @@ def summarize_ledger(network: Network) -> Dict[str, float]:
         "max_edge_bits": float(ledger.max_edge_bits),
         "bandwidth_bits": float(network.bandwidth_bits),
         "bits_per_round_per_edge": (
-            ledger.total_bits / max(1, ledger.rounds) / max(1, network.graph.number_of_edges())
+            ledger.total_bits / max(1, ledger.rounds) / max(1, network.number_of_edges)
         ),
     }
 
 
-def rounds_by_phase(network: Network, prefix_split: str = ":") -> Dict[str, int]:
+def rounds_by_phase(network, prefix_split: str = ":") -> Dict[str, int]:
     """Aggregate round counts by phase label prefix (the part before ``:``)."""
     totals: Dict[str, int] = {}
     for label, count in network.ledger.rounds_by_label().items():

@@ -242,8 +242,12 @@ def estimate_similarity_on_edges(
         hashes_u = _low_unique_hashes(h, _scaled(set_u, k), sigma)
         hashes_v = _low_unique_hashes(h, _scaled(set_v, k), sigma)
         per_edge_hashes[(u, v)] = (hashes_u, hashes_v)
-        bits_u = [1 if value in hashes_u else 0 for value in range(1, sigma + 1)]
-        bits_v = [1 if value in hashes_v else 0 for value in range(1, sigma + 1)]
+        bits_u = [0] * sigma
+        for value in hashes_u:
+            bits_u[value - 1] = 1
+        bits_v = [0] * sigma
+        for value in hashes_v:
+            bits_v[value - 1] = 1
         indicator_payloads[(u, v)] = bitstring_message(bits_u, label=f"{label}:indicator")
         indicator_payloads[(v, u)] = bitstring_message(bits_v, label=f"{label}:indicator")
     network.exchange_chunked(indicator_payloads, label=f"{label}:indicator")

@@ -12,9 +12,14 @@ from repro.congest import (
 )
 
 
+@pytest.fixture(params=["dict", "batch"])
+def backend(request) -> str:
+    return request.param
+
+
 @pytest.fixture
-def square() -> Network:
-    return Network(nx.cycle_graph(4), bandwidth_bits=16)
+def square(backend) -> Network:
+    return Network(nx.cycle_graph(4), bandwidth_bits=16, backend=backend)
 
 
 class TestConstruction:
@@ -112,46 +117,46 @@ class TestBroadcast:
 
 
 class TestChunkedExchange:
-    def test_large_message_costs_multiple_rounds(self):
-        net = Network(nx.path_graph(3), bandwidth_bits=8)
+    def test_large_message_costs_multiple_rounds(self, backend):
+        net = Network(nx.path_graph(3), bandwidth_bits=8, backend=backend)
         net.exchange_chunked({(0, 1): Message(content="big", bits=33)})
         assert net.rounds_used == 5  # ceil(33 / 8)
 
-    def test_small_message_costs_one_round(self):
-        net = Network(nx.path_graph(3), bandwidth_bits=8)
+    def test_small_message_costs_one_round(self, backend):
+        net = Network(nx.path_graph(3), bandwidth_bits=8, backend=backend)
         net.exchange_chunked({(0, 1): Message(content="ok", bits=8)})
         assert net.rounds_used == 1
 
-    def test_local_mode_single_round(self):
-        net = Network(nx.path_graph(3), mode="local", bandwidth_bits=8)
+    def test_local_mode_single_round(self, backend):
+        net = Network(nx.path_graph(3), mode="local", bandwidth_bits=8, backend=backend)
         net.exchange_chunked({(0, 1): Message(content="big", bits=1000)})
         assert net.rounds_used == 1
 
-    def test_empty_still_charges_a_round(self):
-        net = Network(nx.path_graph(3), bandwidth_bits=8)
+    def test_empty_still_charges_a_round(self, backend):
+        net = Network(nx.path_graph(3), bandwidth_bits=8, backend=backend)
         net.exchange_chunked({})
         assert net.rounds_used == 1
 
-    def test_parallel_streams_share_rounds(self):
-        net = Network(nx.cycle_graph(4), bandwidth_bits=8)
+    def test_parallel_streams_share_rounds(self, backend):
+        net = Network(nx.cycle_graph(4), bandwidth_bits=8, backend=backend)
         net.exchange_chunked({
             (0, 1): Message(content="a", bits=24),
             (2, 3): Message(content="b", bits=16),
         })
         assert net.rounds_used == 3  # dominated by the 24-bit message
 
-    def test_total_bits_preserved(self):
-        net = Network(nx.path_graph(3), bandwidth_bits=8)
+    def test_total_bits_preserved(self, backend):
+        net = Network(nx.path_graph(3), bandwidth_bits=8, backend=backend)
         net.exchange_chunked({(0, 1): Message(content="a", bits=20)})
         assert net.ledger.total_bits == 20
 
-    def test_non_edge_rejected(self):
-        net = Network(nx.path_graph(4), bandwidth_bits=8)
+    def test_non_edge_rejected(self, backend):
+        net = Network(nx.path_graph(4), bandwidth_bits=8, backend=backend)
         with pytest.raises(ProtocolError):
             net.exchange_chunked({(0, 3): Message(content="a", bits=4)})
 
-    def test_broadcast_chunked(self):
-        net = Network(nx.star_graph(3), bandwidth_bits=8)
+    def test_broadcast_chunked(self, backend):
+        net = Network(nx.star_graph(3), bandwidth_bits=8, backend=backend)
         inbox = net.broadcast_chunked({0: Message(content="hub", bits=20)})
         assert all(inbox[leaf][0] == "hub" for leaf in (1, 2, 3))
         assert net.rounds_used == 3
@@ -206,3 +211,107 @@ class TestPayloadBits:
     def test_negative_bits_rejected(self):
         with pytest.raises(ValueError):
             Message(content=1, bits=-1)
+
+
+class TestChunkedLocalAccounting:
+    """Regression: LOCAL-mode exchange_chunked must charge exactly one round
+    with the true per-edge sizes — the same record exchange() would produce."""
+
+    MESSAGES = {
+        (0, 1): Message(content="a", bits=1000),
+        (1, 2): Message(content="b", bits=3),
+        (2, 3): Message(content="c", bits=0),
+    }
+
+    def test_local_chunked_matches_exchange_record(self, backend):
+        chunked = Network(nx.path_graph(4), mode="local", bandwidth_bits=8, backend=backend)
+        plain = Network(nx.path_graph(4), mode="local", bandwidth_bits=8, backend=backend)
+        chunked.exchange_chunked(dict(self.MESSAGES), label="x")
+        plain.exchange(dict(self.MESSAGES), label="x")
+        assert chunked.ledger.records == plain.ledger.records
+
+    def test_local_chunked_counts_every_message(self, backend):
+        net = Network(nx.path_graph(4), mode="local", bandwidth_bits=8, backend=backend)
+        net.exchange_chunked(dict(self.MESSAGES), label="x")
+        assert net.ledger.rounds == 1
+        assert net.ledger.total_messages == 3  # zero-bit messages count too
+        assert net.ledger.total_bits == 1003
+        assert net.ledger.max_edge_bits == 1000
+
+    def test_congest_chunked_counts_zero_bit_message_once(self, backend):
+        net = Network(nx.path_graph(4), bandwidth_bits=8, backend=backend)
+        net.exchange_chunked(
+            {(0, 1): Message(content="a", bits=16), (2, 3): Message(content="z", bits=0)},
+            label="x",
+        )
+        assert net.ledger.rounds == 2
+        # Round 1 carries both messages (the zero-bit one occupies its edge
+        # exactly once); round 2 carries only the second chunk.
+        assert [r.message_count for r in net.ledger.records] == [2, 1]
+        assert net.ledger.total_bits == 16
+
+
+class TestBackendSelection:
+    def test_default_backend_is_batch(self):
+        assert Network(nx.path_graph(3)).backend == "batch"
+
+    def test_backend_recorded_in_summary(self, backend):
+        net = Network(nx.path_graph(3), backend=backend)
+        assert net.summary()["backend"] == backend
+
+    def test_transport_instance_passthrough_adopts_wiring(self):
+        from repro.congest import DictTransport, Topology
+        from repro.metrics.ledger import RecordingLedger
+
+        graph = nx.path_graph(3)
+        shared_ledger = RecordingLedger()
+        custom = DictTransport(Topology(graph), "local", 8, shared_ledger)
+        net = Network(graph, mode="local", backend=custom)
+        # The facade must describe the transport that actually runs...
+        assert net.transport is custom
+        assert net.ledger is shared_ledger
+        assert net.mode == "local"
+        assert net.bandwidth_bits == 8
+        assert net.topology is custom.topology
+        # ...and its accounting must reach Network-level views.
+        net.exchange({(0, 1): 5})
+        assert net.rounds_used == 1
+        assert net.summary()["rounds"] == 1
+
+    def test_transport_instance_conflicts_rejected(self):
+        from repro.congest import DictTransport, Topology
+        from repro.metrics.ledger import RecordingLedger
+
+        graph = nx.path_graph(3)
+        custom = DictTransport(Topology(graph), "local", 8, RecordingLedger())
+        with pytest.raises(ValueError):  # default mode is congest
+            Network(graph, backend=custom)
+        with pytest.raises(ValueError):  # different graph entirely
+            Network(nx.path_graph(3), mode="local", backend=custom)
+        with pytest.raises(ValueError):  # conflicting explicit budget
+            Network(graph, mode="local", bandwidth_bits=99, backend=custom)
+        with pytest.raises(ValueError):  # conflicting ledger kind
+            Network(graph, mode="local", ledger="counters", backend=custom)
+
+    def test_message_subclass_unwrapped_on_both_backends(self, backend):
+        class Tagged(Message):
+            pass
+
+        net = Network(nx.path_graph(3), bandwidth_bits=16, backend=backend)
+        delivered = net.exchange({(0, 1): Tagged(content="payload", bits=4)})
+        assert delivered[(0, 1)] == "payload"
+        assert net.ledger.total_bits == 4
+
+    def test_ledger_kind_matching_transport_is_accepted(self):
+        from repro.congest import DictTransport, Topology
+        from repro.metrics.ledger import CounterLedger, RecordingLedger
+
+        graph = nx.path_graph(3)
+        recording = DictTransport(Topology(graph), "local", 8, RecordingLedger())
+        # Matching kind names (including the alias) are fine...
+        Network(graph, mode="local", ledger="records", backend=recording)
+        Network(graph, mode="local", ledger="full", backend=recording)
+        # ...but asking for round history on a counters-only transport is not.
+        counting = DictTransport(Topology(graph), "local", 8, CounterLedger())
+        with pytest.raises(ValueError):
+            Network(graph, mode="local", ledger="records", backend=counting)

@@ -102,3 +102,38 @@ class TestNodeState:
         state.halt("done")
         assert state.halted
         assert state.output == "done"
+
+
+class TestContextReuse:
+    def test_context_objects_are_reused_across_rounds(self):
+        seen = []
+
+        class Probe(NodeProgram):
+            def step(self, ctx, inbox):
+                seen.append((ctx.node, id(ctx), ctx.round_index))
+                if ctx.round_index >= 2:
+                    ctx.state.halt(ctx.round_index)
+                return {}
+
+        net = Network(nx.path_graph(3))
+        Simulator(net, Probe(), seed=0).run()
+        ids_per_node = {}
+        for node, ctx_id, _ in seen:
+            ids_per_node.setdefault(node, set()).add(ctx_id)
+        # One ProgramContext per node, reused every round.
+        assert all(len(ids) == 1 for ids in ids_per_node.values())
+        rounds_for_zero = [r for node, _, r in seen if node == 0]
+        assert rounds_for_zero == [0, 1, 2]
+
+    def test_init_and_step_share_context(self):
+        class Probe(NodeProgram):
+            def init(self, ctx):
+                ctx.state["init_ctx"] = id(ctx)
+
+            def step(self, ctx, inbox):
+                ctx.state.halt(id(ctx) == ctx.state["init_ctx"])
+                return {}
+
+        net = Network(nx.path_graph(3))
+        result = Simulator(net, Probe(), seed=0).run()
+        assert all(result.outputs.values())

@@ -1,0 +1,105 @@
+"""Tests for the immutable Topology layer (CSR adjacency, node index)."""
+
+import networkx as nx
+import pytest
+
+from repro.congest import Network, ProtocolError, Topology
+
+
+@pytest.fixture
+def topo() -> Topology:
+    g = nx.Graph()
+    g.add_edges_from([("a", "b"), ("b", "c"), ("c", "a"), ("c", "d")])
+    return Topology(g)
+
+
+class TestViews:
+    def test_nodes_cached_and_stable(self, topo):
+        assert topo.nodes is topo.nodes  # no rebuild per access
+        assert set(topo.nodes) == {"a", "b", "c", "d"}
+
+    def test_counts(self, topo):
+        assert topo.number_of_nodes == 4
+        assert topo.number_of_edges == 4
+
+    def test_neighbors_and_degrees(self, topo):
+        assert topo.neighbors("c") == frozenset({"a", "b", "d"})
+        assert topo.degree("c") == 3
+        assert topo.degree("d") == 1
+        assert topo.max_degree() == 3
+
+    def test_are_adjacent(self, topo):
+        assert topo.are_adjacent("a", "b")
+        assert not topo.are_adjacent("a", "d")
+
+    def test_missing_node_raises(self, topo):
+        with pytest.raises(ProtocolError):
+            topo.neighbors("nope")
+        with pytest.raises(ProtocolError):
+            topo.degree("nope")
+
+    def test_self_loops_rejected(self):
+        g = nx.Graph()
+        g.add_edge(1, 1)
+        with pytest.raises(ProtocolError):
+            Topology(g)
+
+    def test_edges_iterates_each_edge_once(self, topo):
+        edges = {frozenset(e) for e in topo.edges()}
+        assert edges == {
+            frozenset({"a", "b"}),
+            frozenset({"b", "c"}),
+            frozenset({"c", "a"}),
+            frozenset({"c", "d"}),
+        }
+
+
+class TestNodeIndex:
+    def test_index_roundtrip(self, topo):
+        for v in topo.nodes:
+            assert topo.node_at(topo.index_of(v)) == v
+
+    def test_index_is_contiguous(self, topo):
+        assert sorted(topo.index_of(v) for v in topo.nodes) == [0, 1, 2, 3]
+
+    def test_missing_lookups_raise(self, topo):
+        with pytest.raises(ProtocolError):
+            topo.index_of("nope")
+        with pytest.raises(ProtocolError):
+            topo.node_at(99)
+
+    def test_csr_arrays_consistent(self, topo):
+        assert len(topo.indptr) == topo.number_of_nodes + 1
+        assert len(topo.indices) == 2 * topo.number_of_edges
+        for v in topo.nodes:
+            i = topo.index_of(v)
+            csr_nbrs = {topo.node_at(j) for j in topo.neighbor_indices(i)}
+            assert csr_nbrs == set(topo.neighbors(v))
+
+    def test_empty_graph(self):
+        topo = Topology(nx.Graph())
+        assert topo.nodes == ()
+        assert topo.max_degree() == 0
+        assert topo.number_of_edges == 0
+
+
+class TestNetworkFacade:
+    def test_network_exposes_topology(self):
+        net = Network(nx.path_graph(5))
+        assert net.topology.nodes == net.nodes
+        assert net.number_of_edges == 4
+
+    def test_network_nodes_is_cached(self):
+        net = Network(nx.path_graph(5))
+        assert net.nodes is net.nodes
+
+    def test_network_index_helpers(self):
+        net = Network(nx.path_graph(3))
+        assert net.node_at(net.index_of(2)) == 2
+
+
+class TestNodeAtBounds:
+    def test_negative_index_rejected(self):
+        topo = Topology(nx.path_graph(3))
+        with pytest.raises(ProtocolError):
+            topo.node_at(-1)

@@ -138,3 +138,34 @@ class TestLemma1Statistics:
         for _ in range(20):
             h = self.family.member(self.family.sample_index(rng))
             assert len(low_part(h, a, sigma)) <= max(cap, 3 * sigma * len(a) / self.lam + 5)
+
+
+class TestElementKeyTypeSensitivity:
+    """Regression: equal-but-differently-typed elements must never share a
+    cached key (Python equality unifies 1 and 1.0, their keys must not)."""
+
+    def test_int_and_float_tuples_key_differently(self):
+        from repro.hashing.keys import element_key
+
+        # Warm the cache with the int variant first, then query the float
+        # variant: the order must not matter.
+        k_int = element_key((5, 2))
+        k_float = element_key((5.0, 2))
+        assert k_int != k_float
+
+    def test_cached_key_matches_uncached_computation(self):
+        from repro.hashing.keys import element_key, mix64
+
+        expected = mix64(element_key(7.0), element_key(1), 0x7157)
+        element_key((7, 1))  # try to poison the cache with the int variant
+        assert element_key((7.0, 1)) == expected
+
+    def test_hash_function_distinguishes_types_regardless_of_order(self):
+        from repro.hashing.representative import RepresentativeHashFunction
+
+        h1 = RepresentativeHashFunction(123, 0, 97)
+        first_int = h1(11)
+        first_float = h1(11.0)
+        h2 = RepresentativeHashFunction(123, 0, 97)
+        assert h2(11.0) == first_float
+        assert h2(11) == first_int

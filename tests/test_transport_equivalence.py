@@ -1,0 +1,261 @@
+"""Cross-backend equivalence: DictTransport and BatchTransport must agree.
+
+The paper-fidelity contract (DESIGN.md) is that the transport backend is a
+performance choice only: for the same inputs and seeds, both backends must
+deliver the same payloads and charge byte-identical ledgers — same rounds,
+labels, message counts, total bits and per-round maxima.  This suite checks
+that contract at the primitive level and end-to-end on several graph
+families.
+"""
+
+import networkx as nx
+import pytest
+
+from repro.baselines import johansson_coloring
+from repro.congest import Message, Network, Simulator
+from repro.core import solve_d1c, solve_d1lc
+from repro.graphs import (
+    degree_plus_one_lists,
+    gnp_graph,
+    planted_almost_cliques,
+)
+from repro.graphs.generators import triangle_rich_graph
+from repro.metrics.ledger import CounterLedger, RecordingLedger
+
+BACKENDS = ("dict", "batch")
+
+
+def ledger_tuple(network: Network):
+    ledger = network.ledger
+    return (ledger.rounds, ledger.total_bits, ledger.total_messages,
+            ledger.max_edge_bits)
+
+
+def assert_identical_ledgers(net_a: Network, net_b: Network):
+    assert ledger_tuple(net_a) == ledger_tuple(net_b)
+    assert net_a.ledger.records == net_b.ledger.records
+
+
+def both_networks(graph, **kwargs):
+    return tuple(Network(graph, backend=b, **kwargs) for b in BACKENDS)
+
+
+class TestPrimitiveEquivalence:
+    def test_exchange(self):
+        for net in both_networks(nx.cycle_graph(6), bandwidth_bits=64):
+            delivered = net.exchange(
+                {(0, 1): 5, (1, 0): Message(content="x", bits=9), (2, 3): (1, 2)},
+                label="t",
+            )
+            assert delivered[(1, 0)] == "x"
+        net_a, net_b = both_networks(nx.cycle_graph(6), bandwidth_bits=64)
+        for net in (net_a, net_b):
+            net.exchange({(0, 1): 5, (2, 3): [7, 8]}, label="t")
+            net.exchange({}, label="empty")
+        assert_identical_ledgers(net_a, net_b)
+
+    def test_broadcast_inboxes_and_ledger(self):
+        net_a, net_b = both_networks(nx.star_graph(5), bandwidth_bits=64)
+        inboxes = []
+        for net in (net_a, net_b):
+            inbox = net.broadcast({0: Message(content=3, bits=4), 1: 2}, label="b")
+            inboxes.append({v: dict(box) for v, box in inbox.items()})
+        assert inboxes[0] == inboxes[1]
+        assert_identical_ledgers(net_a, net_b)
+
+    def test_broadcast_restricted_recipients(self):
+        net_a, net_b = both_networks(nx.cycle_graph(5), bandwidth_bits=64)
+        for net in (net_a, net_b):
+            inbox = net.broadcast({0: 7}, senders_only_to={0: [1]}, label="b")
+            assert dict(inbox[1]) == {0: 7}
+            assert dict(inbox[4]) == {}
+        assert_identical_ledgers(net_a, net_b)
+
+    def test_exchange_chunked(self):
+        msgs = {
+            (0, 1): Message(content="long", bits=50),
+            (1, 2): Message(content="short", bits=7),
+            (2, 3): Message(content="empty", bits=0),
+        }
+        net_a, net_b = both_networks(nx.path_graph(5), bandwidth_bits=8)
+        for net in (net_a, net_b):
+            delivered = net.exchange_chunked(msgs, label="c")
+            assert delivered[(0, 1)] == "long"
+        assert_identical_ledgers(net_a, net_b)
+
+    def test_broadcast_chunked(self):
+        net_a, net_b = both_networks(nx.star_graph(4), bandwidth_bits=8)
+        for net in (net_a, net_b):
+            net.broadcast_chunked({0: Message(content="hub", bits=21)}, label="bc")
+        assert_identical_ledgers(net_a, net_b)
+
+    def test_silent_round(self):
+        net_a, net_b = both_networks(nx.path_graph(3))
+        for net in (net_a, net_b):
+            net.charge_silent_round(label="s")
+        assert_identical_ledgers(net_a, net_b)
+
+
+GRAPH_FAMILIES = {
+    "gnp": lambda: gnp_graph(60, 0.12, seed=5),
+    "planted-cliques": lambda: planted_almost_cliques(
+        num_cliques=3, clique_size=12, num_sparse=8, seed=3
+    ).graph,
+    "triangle-rich": lambda: triangle_rich_graph(
+        n=50, planted_cliques=2, clique_size=8, seed=7
+    ).graph,
+    "cycle": lambda: nx.cycle_graph(30),
+}
+
+
+class TestEndToEndEquivalence:
+    @pytest.mark.parametrize("family", sorted(GRAPH_FAMILIES))
+    def test_d1c_identical_across_backends(self, family):
+        graph = GRAPH_FAMILIES[family]()
+        results = {
+            backend: solve_d1c(graph, seed=11, backend=backend)
+            for backend in BACKENDS
+        }
+        a, b = results["dict"], results["batch"]
+        assert a.coloring == b.coloring
+        assert a.rounds == b.rounds
+        assert a.total_bits == b.total_bits
+        assert a.max_edge_bits == b.max_edge_bits
+        assert a.rounds_by_phase == b.rounds_by_phase
+        assert a.is_valid and b.is_valid
+
+    def test_d1lc_identical_across_backends(self):
+        graph = gnp_graph(50, 0.15, seed=9)
+        lists = degree_plus_one_lists(graph, seed=9)
+        results = {
+            backend: solve_d1lc(graph, lists, seed=4, backend=backend)
+            for backend in BACKENDS
+        }
+        a, b = results["dict"], results["batch"]
+        assert a.coloring == b.coloring
+        assert (a.rounds, a.total_bits, a.max_edge_bits) == (
+            b.rounds, b.total_bits, b.max_edge_bits
+        )
+
+    def test_johansson_identical_across_backends(self):
+        graph = gnp_graph(40, 0.2, seed=2)
+        results = {
+            backend: johansson_coloring(graph, seed=6, backend=backend)
+            for backend in BACKENDS
+        }
+        a, b = results["dict"], results["batch"]
+        assert a.coloring == b.coloring
+        assert (a.rounds, a.total_bits) == (b.rounds, b.total_bits)
+
+    def test_simulator_identical_across_backends(self):
+        from repro.congest import NodeProgram
+
+        class FloodMin(NodeProgram):
+            def init(self, ctx):
+                ctx.state["best"] = ctx.node
+                ctx.state["changed"] = True
+
+            def step(self, ctx, inbox):
+                for value in inbox.values():
+                    if value < ctx.state["best"]:
+                        ctx.state["best"] = value
+                        ctx.state["changed"] = True
+                if not ctx.state["changed"]:
+                    ctx.state.halt(ctx.state["best"])
+                    return {}
+                ctx.state["changed"] = False
+                return {u: ctx.state["best"] for u in ctx.neighbors}
+
+            def finish(self, ctx):
+                return ctx.state["best"]
+
+        nets = both_networks(nx.random_regular_graph(3, 12, seed=1))
+        outputs = []
+        for net in nets:
+            outputs.append(Simulator(net, FloodMin(), seed=5).run().outputs)
+        assert outputs[0] == outputs[1]
+        assert_identical_ledgers(*nets)
+
+
+class TestLedgerBackends:
+    def test_counters_match_records(self):
+        graph = gnp_graph(40, 0.15, seed=8)
+        full = solve_d1c(graph, seed=3, backend="batch", ledger="records")
+        lean = solve_d1c(graph, seed=3, backend="batch", ledger="counters")
+        assert full.coloring == lean.coloring
+        assert (full.rounds, full.total_bits, full.max_edge_bits) == (
+            lean.rounds, lean.total_bits, lean.max_edge_bits
+        )
+        assert full.rounds_by_phase == lean.rounds_by_phase
+
+    def test_counter_ledger_keeps_no_records(self):
+        net = Network(nx.path_graph(4), ledger="counters")
+        net.exchange({(0, 1): 1}, label="a")
+        assert isinstance(net.ledger, CounterLedger)
+        assert net.ledger.records == []
+        assert net.ledger.rounds == 1
+
+    def test_shared_ledger_instance(self):
+        shared = RecordingLedger()
+        net1 = Network(nx.path_graph(3), ledger=shared)
+        net2 = Network(nx.path_graph(3), ledger=shared)
+        net1.exchange({(0, 1): 1})
+        net2.exchange({(1, 2): 1})
+        assert shared.rounds == 2
+
+    def test_unknown_ledger_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Network(nx.path_graph(3), ledger="weird")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            Network(nx.path_graph(3), backend="weird")
+
+
+class TestChunkedAccountingOracle:
+    """Independent oracle: the arithmetic chunked accounting shared by both
+    backends must match a literal chunk-by-chunk simulation of the streams
+    (the pre-refactor implementation), so a bug in the arithmetic cannot
+    hide behind cross-backend agreement."""
+
+    @staticmethod
+    def simulate_rounds(sizes, budget):
+        """Literal simulation: every still-streaming edge sends one
+        budget-sized chunk per round (zero-bit messages occupy round 1)."""
+        remaining = dict(sizes)
+        records = []
+        total_rounds = max(
+            [1] + [-(-bits // budget) for bits in sizes.values() if bits > 0]
+        )
+        for r in range(total_rounds):
+            count = bits_sum = max_bits = 0
+            for edge, left in remaining.items():
+                if left <= 0 and r > 0:
+                    continue
+                sent = min(left, budget)
+                remaining[edge] = left - sent
+                count += 1
+                bits_sum += sent
+                max_bits = max(max_bits, sent)
+            records.append((count, bits_sum, max_bits))
+        return records
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("trial", range(20))
+    def test_matches_literal_simulation(self, backend, trial):
+        import random
+
+        rng = random.Random(trial)
+        budget = rng.choice([1, 3, 8, 17])
+        graph = nx.cycle_graph(8)
+        edges = [(v, (v + 1) % 8) for v in range(8)]
+        sizes = {e: rng.choice([0, 1, budget - 1, budget, budget + 1,
+                                3 * budget, rng.randrange(0, 6 * budget + 1)])
+                 for e in rng.sample(edges, rng.randrange(1, len(edges) + 1))}
+        net = Network(graph, bandwidth_bits=budget, backend=backend)
+        net.exchange_chunked(
+            {e: Message(content="x", bits=b) for e, b in sizes.items()}, label="o"
+        )
+        got = [(r.message_count, r.total_bits, r.max_edge_bits)
+               for r in net.ledger.records]
+        assert got == self.simulate_rounds(sizes, budget)
