@@ -7,6 +7,10 @@ O(log n) budget).  The paper's claim is an O(log^5 log n) bound — on the sizes
 a simulation can reach, the observable shape is a round count that grows very
 slowly with n (far slower than the Johansson baseline's Θ(log n), see E11) and
 never violates the bandwidth.
+
+The workload now lives in the experiment subsystem: this benchmark is a thin
+wrapper over the ``e09``-tagged scenarios of the ``scaling`` suite
+(``repro suite run scaling`` sweeps the same points).
 """
 
 from __future__ import annotations
@@ -14,28 +18,23 @@ from __future__ import annotations
 import math
 
 from benchmarks.conftest import emit, run_once
-from repro.core import ColoringParameters, solve_d1lc
-from repro.graphs import degree_plus_one_lists, gnp_graph
-
-SIZES = (60, 120, 240)
-AVG_DEGREE = 10
+from repro.experiments import get_suite, run_scenarios
 
 
 def measure():
+    specs = [spec for spec in get_suite("scaling") if "e09" in spec.tags]
+    result = run_scenarios(specs, suite="scaling")
     rows = []
-    for n in SIZES:
-        graph = gnp_graph(n, min(0.5, AVG_DEGREE / n), seed=n)
-        lists = degree_plus_one_lists(graph, seed=n)
-        result = solve_d1lc(graph, lists, params=ColoringParameters.small(seed=n))
+    for trial in result.rows():
         rows.append({
-            "n": n,
-            "log2(n)": round(math.log2(n), 1),
-            "valid": result.is_valid,
-            "randomized rounds": result.randomized_rounds,
-            "total rounds": result.rounds,
-            "fallback nodes": result.fallback_nodes,
-            "max bits/edge/round": result.max_edge_bits,
-            "budget": result.bandwidth_bits,
+            "n": trial["n"],
+            "log2(n)": round(math.log2(trial["n"]), 1),
+            "valid": trial["valid"],
+            "randomized rounds": trial["randomized_rounds"],
+            "total rounds": trial["rounds"],
+            "fallback nodes": trial["fallback_nodes"],
+            "max bits/edge/round": trial["max_edge_bits"],
+            "budget": trial["bandwidth_bits"],
         })
     return rows
 

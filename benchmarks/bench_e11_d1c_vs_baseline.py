@@ -4,6 +4,12 @@ The paper's improvement is asymptotic (log^3 log n vs log n); at simulation
 scale the informative comparison is the *growth*: the baseline's round count
 keeps creeping up with n while the pipeline's randomized round count stays
 essentially flat, and both stay within the CONGEST bandwidth.
+
+The workload now lives in the experiment subsystem: this benchmark is a thin
+wrapper over the ``e11``-tagged scenario pairs of the ``coloring`` suite.
+Pipeline and baseline scenarios share graph family, parameters, and base
+seed, so the runner's seed derivation hands both solvers the *same* graphs —
+a controlled head-to-head.
 """
 
 from __future__ import annotations
@@ -11,28 +17,28 @@ from __future__ import annotations
 import math
 
 from benchmarks.conftest import emit, run_once
-from repro.baselines import johansson_coloring
-from repro.core import ColoringParameters, solve_d1c
-from repro.graphs import gnp_graph
-
-SIZES = (60, 120, 240, 480)
-AVG_DEGREE = 8
+from repro.experiments import get_suite, run_scenarios
 
 
 def measure():
+    specs = [spec for spec in get_suite("coloring") if "e11" in spec.tags]
+    result = run_scenarios(specs, suite="coloring")
+    by_kind = {}
+    for spec in specs:
+        kind = "pipeline" if "pipeline" in spec.tags else "baseline"
+        trial = result.rows_for(spec.name)[0]
+        by_kind.setdefault(trial["n"], {})[kind] = trial
     rows = []
-    for n in SIZES:
-        graph = gnp_graph(n, min(0.5, AVG_DEGREE / n), seed=n)
-        pipeline = solve_d1c(graph, params=ColoringParameters.small(seed=n))
-        baseline = johansson_coloring(graph, seed=n)
+    for n in sorted(by_kind):
+        pipeline, baseline = by_kind[n]["pipeline"], by_kind[n]["baseline"]
         rows.append({
             "n": n,
             "log2(n)": round(math.log2(n), 1),
-            "pipeline randomized rounds": pipeline.randomized_rounds,
-            "pipeline total rounds": pipeline.rounds,
-            "baseline rounds": baseline.rounds,
-            "pipeline valid": pipeline.is_valid,
-            "baseline valid": baseline.is_valid,
+            "pipeline randomized rounds": pipeline["randomized_rounds"],
+            "pipeline total rounds": pipeline["rounds"],
+            "baseline rounds": baseline["rounds"],
+            "pipeline valid": pipeline["valid"],
+            "baseline valid": baseline["valid"],
         })
     return rows
 

@@ -10,77 +10,59 @@ Two head-to-head comparisons at a strict ``log2 n``-bit budget:
 
 This is the experiment that shows *why* the paper's techniques are needed in
 CONGEST at all.
+
+The workload now lives in the experiment subsystem: this benchmark is a thin
+wrapper over the ``e12``-tagged scenarios of the ``bandwidth`` suite.  Hashed
+and naive variants share family parameters and base seed, so the runner hands
+both the same graphs and the same solver randomness.
 """
 
 from __future__ import annotations
 
-import math
+from dataclasses import replace
 
 import pytest
 
 from benchmarks.conftest import emit, run_once
-from repro.baselines import naive_compute_acd, naive_multi_trial
-from repro.congest import Network
-from repro.core import ColoringInstance, ColoringParameters
-from repro.core.acd import compute_acd
-from repro.core.multitrial import multi_trial
-from repro.core.state import ColoringState
-from repro.graphs import gnp_graph, numeric_degree_lists, planted_almost_cliques
+from repro.experiments import get_suite, run_scenarios
 
 
-def multitrial_rows(backend: str = "batch"):
-    graph = gnp_graph(100, 0.12, seed=12)
-    delta = max(d for _, d in graph.degree())
-    budget = max(8, int(math.log2(graph.number_of_nodes())) + 1)
+def _paired_rows(result, specs, kind: str, workload_of):
+    """Pair each hashed scenario with its naive twin into one table row."""
+    pairs = {}
+    for spec in specs:
+        trial = result.rows_for(spec.name)[0]
+        variant = "hashed" if "hashed" in spec.tags else "naive"
+        pairs.setdefault(workload_of(spec, trial), {})[variant] = trial
     rows = []
-    for tries in (4, 16, 32):
-        results = {}
-        for label, runner in (("hashed MultiTrial", multi_trial), ("naive MultiTrial", naive_multi_trial)):
-            lists = numeric_degree_lists(graph, extra=3 * delta)
-            instance = ColoringInstance.d1lc(graph, lists)
-            network = Network(graph, bandwidth_bits=budget, backend=backend)
-            state = ColoringState(instance, network, ColoringParameters.small(seed=tries))
-            colored = runner(state, tries)
-            results[label] = (network.rounds_used, len(colored))
-        rows.append({
-            "experiment": "MultiTrial",
-            "x / workload": tries,
-            "hashed rounds": results["hashed MultiTrial"][0],
-            "naive rounds": results["naive MultiTrial"][0],
-            "hashed colored": results["hashed MultiTrial"][1],
-            "naive colored": results["naive MultiTrial"][1],
-        })
-    return rows
-
-
-def acd_rows(backend: str = "batch"):
-    rows = []
-    for clique_size in (16, 32, 48):
-        planted = planted_almost_cliques(
-            num_cliques=3, clique_size=clique_size, num_sparse=10, seed=clique_size
-        )
-        budget = max(8, int(math.log2(planted.graph.number_of_nodes())) + 1)
-        params = ColoringParameters.small(seed=clique_size)
-        hashed_net = Network(planted.graph, bandwidth_bits=budget, backend=backend)
-        naive_net = Network(planted.graph, bandwidth_bits=budget, backend=backend)
-        hashed = compute_acd(hashed_net, params)
-        naive = naive_compute_acd(naive_net, params)
-        edges = planted.graph.number_of_edges()
-        rows.append({
-            "experiment": "ACD",
-            "x / workload": f"Δ≈{clique_size}",
-            "hashed rounds": hashed.rounds_used,
-            "naive rounds": naive.rounds_used,
-            "hashed colored": len(hashed.cliques),
-            "naive colored": len(naive.cliques),
-            "hashed bits/edge": round(hashed_net.ledger.total_bits / edges),
-            "naive bits/edge": round(naive_net.ledger.total_bits / edges),
-        })
+    for workload, variants in pairs.items():
+        hashed, naive = variants["hashed"], variants["naive"]
+        row = {
+            "experiment": kind,
+            "x / workload": workload,
+            "hashed rounds": hashed["rounds"],
+            "naive rounds": naive["rounds"],
+            "hashed colored": hashed.get("colored", hashed.get("cliques")),
+            "naive colored": naive.get("colored", naive.get("cliques")),
+        }
+        if kind == "ACD":
+            row["hashed bits/edge"] = round(hashed["bits_per_edge"])
+            row["naive bits/edge"] = round(naive["bits_per_edge"])
+        rows.append(row)
     return rows
 
 
 def measure(backend: str = "batch"):
-    return multitrial_rows(backend) + acd_rows(backend)
+    specs = [replace(spec, backend=backend)
+             for spec in get_suite("bandwidth") if "e12" in spec.tags]
+    result = run_scenarios(specs, suite="bandwidth")
+    multitrial = [s for s in specs if "multitrial" in s.tags]
+    acd = [s for s in specs if "acd" in s.tags]
+    rows = _paired_rows(result, multitrial, "MultiTrial",
+                        lambda spec, trial: trial["tries"])
+    rows += _paired_rows(result, acd, "ACD",
+                         lambda spec, trial: f"Δ≈{spec.family_params['clique_size']}")
+    return rows
 
 
 @pytest.mark.parametrize("backend", ["dict", "batch"])

@@ -6,45 +6,51 @@ what the batching buys in wall-clock on the largest seed workload
 (the n=240 D1LC instance of E9) plus a raw exchange/broadcast microbench.
 The table also re-asserts the ledger equality end to end, so a perf run
 doubles as a fidelity check.
+
+The pipeline workload is the ``e16``-tagged scenario of the ``scaling``
+suite, run through the experiment subsystem once per backend; the metric
+equality check across backends is exactly what lets the suite's aggregate
+snapshot omit the backend knob.
 """
 
 from __future__ import annotations
 
 import time
+from dataclasses import replace
 
 from benchmarks.conftest import emit, run_once
 from repro.congest import Message, Network
-from repro.core import ColoringParameters, solve_d1lc
-from repro.graphs import degree_plus_one_lists, gnp_graph
+from repro.experiments import get_suite, run_scenarios
+from repro.graphs import gnp_graph
 
 N = 240
 AVG_DEGREE = 10
 BACKENDS = ("dict", "batch")
 
+#: ``coloring_sha`` fingerprints the exact node->color assignment, so the
+#: cross-backend check is as strong as the old ``a.coloring == b.coloring``.
+METRIC_KEYS = ("valid", "rounds", "total_bits", "max_edge_bits", "colors_used",
+               "coloring_sha")
+
 
 def _pipeline_row():
-    graph = gnp_graph(N, min(0.5, AVG_DEGREE / N), seed=N)
-    lists = degree_plus_one_lists(graph, seed=N)
+    (spec,) = [s for s in get_suite("scaling") if "e16" in s.tags]
     timings = {}
-    results = {}
+    trials = {}
     for backend in BACKENDS:
-        start = time.perf_counter()
-        results[backend] = solve_d1lc(
-            graph, lists, params=ColoringParameters.small(seed=N), backend=backend
-        )
-        timings[backend] = time.perf_counter() - start
-    a, b = results["dict"], results["batch"]
-    assert a.coloring == b.coloring
-    assert (a.rounds, a.total_bits, a.max_edge_bits) == (
-        b.rounds, b.total_bits, b.max_edge_bits
-    )
+        result = run_scenarios([replace(spec, backend=backend)], suite="scaling")
+        trial = result.rows_for(spec.name)[0]
+        timings[backend] = trial["wall_s"]
+        trials[backend] = trial
+    a, b = trials["dict"], trials["batch"]
+    assert all(a[key] == b[key] for key in METRIC_KEYS)
     return {
-        "workload": f"D1LC gnp n={N}",
+        "workload": f"D1LC gnp n={a['n']}",
         "dict s": round(timings["dict"], 3),
         "batch s": round(timings["batch"], 3),
         "speedup": round(timings["dict"] / max(timings["batch"], 1e-9), 2),
         "ledgers equal": True,
-        "rounds": a.rounds,
+        "rounds": a["rounds"],
     }
 
 

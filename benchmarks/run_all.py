@@ -4,6 +4,7 @@ Usage::
 
     PYTHONPATH=src python benchmarks/run_all.py            # all experiments
     PYTHONPATH=src python benchmarks/run_all.py e12 e16    # a subset
+    PYTHONPATH=src python benchmarks/run_all.py --suite smoke --workers 4
 
 Each experiment module exposes ``measure()`` (the paper-relevant series
 without the pytest-benchmark harness).  This driver times each one, prints
@@ -15,13 +16,18 @@ its table, and writes:
   Topology/Transport/Ledger engine.
 
 Snapshots land in the repository root (or ``--out DIR``).
+
+The scenario-level workloads live in :mod:`repro.experiments`; E09, E11, E12
+and E16 above are thin wrappers over its suites, and ``--suite NAME``
+delegates to the subsystem's parallel runner and artifact store directly
+(the ``BENCH_suite.json`` it writes is the committed regression baseline —
+see ``repro suite compare``).
 """
 
 from __future__ import annotations
 
 import argparse
 import importlib
-import json
 import sys
 import time
 from pathlib import Path
@@ -95,13 +101,28 @@ def main(argv=None) -> int:
                         help="directory for the JSON snapshots")
     parser.add_argument("--skip-transport", action="store_true",
                         help="skip the BENCH_transport.json snapshot")
+    parser.add_argument("--suite", default=None,
+                        help="run a scenario suite via repro.experiments instead "
+                             "of the e* measure() modules")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for --suite")
     args = parser.parse_args(argv)
+
+    if args.suite:
+        from repro.experiments import run_suite, write_suite_artifacts
+
+        result = run_suite(args.suite, workers=args.workers)
+        paths = write_suite_artifacts(result, args.out)
+        print(f"suite '{args.suite}': {len(result.rows())} trials in "
+              f"{result.wall_s}s; wrote {paths['suite']}")
+        return 0
 
     keys = args.experiments or sorted(EXPERIMENTS)
     unknown = [k for k in keys if k not in EXPERIMENTS]
     if unknown:
         parser.error(f"unknown experiments: {unknown}; choose from {sorted(EXPERIMENTS)}")
 
+    from repro.experiments import canonical_dumps
     from repro.metrics import format_table
 
     all_results = {}
@@ -112,14 +133,12 @@ def main(argv=None) -> int:
         print()
 
     args.out.mkdir(parents=True, exist_ok=True)
-    (args.out / "BENCH_all.json").write_text(json.dumps(all_results, indent=2, default=str))
+    (args.out / "BENCH_all.json").write_text(canonical_dumps(all_results))
     print(f"wrote {args.out / 'BENCH_all.json'}")
 
     if not args.skip_transport:
         snapshot = transport_snapshot(reuse=all_results)
-        (args.out / "BENCH_transport.json").write_text(
-            json.dumps(snapshot, indent=2, default=str)
-        )
+        (args.out / "BENCH_transport.json").write_text(canonical_dumps(snapshot))
         print(f"wrote {args.out / 'BENCH_transport.json'} "
               f"(e12 dict/batch wall-clock ratio: {snapshot['e12_dict_over_batch']})")
     return 0

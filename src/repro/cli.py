@@ -8,15 +8,22 @@ be run without writing Python::
     python -m repro.cli acd        --cliques 4 --clique-size 18
     python -m repro.cli triangles  --n 150 --eps 0.3
     python -m repro.cli baseline   --n 200 --p 0.08
+    python -m repro.cli suite list
+    python -m repro.cli suite run smoke --workers 4
+    python -m repro.cli suite compare --baseline BENCH_suite.json
 
 Each subcommand prints a plain-text table of the measurements the paper's
-statements are about (rounds, bandwidth, validity, detection quality).
+statements are about (rounds, bandwidth, validity, detection quality).  The
+``suite`` subcommands drive the experiment orchestration subsystem
+(:mod:`repro.experiments`): declarative scenario suites, a parallel trial
+runner, artifact snapshots, and the regression gate.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.baselines import johansson_coloring
@@ -115,6 +122,108 @@ def cmd_triangles(args: argparse.Namespace) -> int:
     return 0
 
 
+def _suite_summary_rows(summary: dict, timing: Optional[dict] = None) -> List[dict]:
+    rows = []
+    scenario_timing = (timing or {}).get("scenarios", {})
+    for name, entry in summary["scenarios"].items():
+        metrics = entry["metrics"]
+        row = {
+            "scenario": name,
+            "solver": entry["solver"],
+            "valid": f"{entry['valid_trials']}/{entry['trials']}",
+            "rounds (mean)": metrics.get("rounds", {}).get("mean", "-"),
+            "bits/edge (mean)": metrics.get("bits_per_edge", {}).get("mean", "-"),
+            "colors (mean)": metrics.get("colors_used", {}).get("mean", "-"),
+        }
+        if name in scenario_timing:
+            row["wall s"] = scenario_timing[name]
+        rows.append(row)
+    return rows
+
+
+def cmd_suite_list(args: argparse.Namespace) -> int:
+    from repro.experiments import get_suite, suite_names
+
+    if args.suite:
+        specs = get_suite(args.suite)
+        print(format_table([spec.describe() for spec in specs],
+                           title=f"suite '{args.suite}' ({len(specs)} scenarios)"))
+        return 0
+    rows = []
+    for name in suite_names():
+        specs = get_suite(name)
+        rows.append({
+            "suite": name,
+            "scenarios": len(specs),
+            "trials": sum(spec.trials for spec in specs),
+            "solvers": ",".join(sorted({spec.solver for spec in specs})),
+        })
+    print(format_table(rows, title="scenario suites (repro suite list <name> for detail)"))
+    return 0
+
+
+def cmd_suite_run(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        aggregate_suite, run_suite, timing_summary, write_suite_artifacts,
+    )
+
+    def progress(row):
+        status = "ok" if row.get("valid") else "INVALID"
+        print(f"  {row['scenario']} trial {row['trial']}: {status} "
+              f"({row['wall_s']}s)")
+
+    result = run_suite(
+        args.suite, workers=args.workers, backend=args.backend,
+        trials=args.trials, progress=progress if args.verbose else None,
+    )
+    summary = aggregate_suite(result)
+    timing = timing_summary(result)
+    paths = write_suite_artifacts(result, Path(args.out), summary=summary)
+    print(format_table(
+        _suite_summary_rows(summary, timing),
+        title=f"suite '{args.suite}': {len(result.scenarios)} scenarios, "
+              f"{len(result.rows())} trials, {result.wall_s}s "
+              f"(workers={args.workers})",
+    ))
+    print(f"\nwrote {paths['suite']}, {paths['trials']}, {paths['timing']}")
+    invalid = [s.spec.name for s in result.scenarios if s.valid_trials < len(s.rows)]
+    if invalid:
+        print(f"INVALID scenarios: {', '.join(invalid)}")
+        return 1
+    return 0
+
+
+def cmd_suite_compare(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        aggregate_suite, compare_summaries, gate_passes, load_suite_summary,
+        run_suite,
+    )
+
+    baseline = load_suite_summary(Path(args.baseline))
+    if args.fresh:
+        fresh = load_suite_summary(Path(args.fresh))
+    else:
+        suite = args.suite or baseline.get("suite")
+        print(f"running suite '{suite}' fresh (workers={args.workers}) ...")
+        fresh = aggregate_suite(run_suite(suite, workers=args.workers,
+                                          backend=args.backend))
+    findings = compare_summaries(baseline, fresh,
+                                 max_regression=args.max_regression / 100.0)
+    if findings:
+        print(format_table(
+            [f.as_row() for f in findings],
+            title=f"compare vs {args.baseline} (gate: >{args.max_regression:g}% "
+                  "mean regression on rounds/bits/colors, any correctness drift)",
+        ))
+    else:
+        print("no drift: fresh aggregates identical to the baseline")
+    if gate_passes(findings):
+        print("\nregression gate: PASS")
+        return 0
+    print("\nregression gate: FAIL")
+    return 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Reproduction of 'Overcoming Congestion in Distributed Coloring'"
@@ -163,6 +272,47 @@ def build_parser() -> argparse.ArgumentParser:
     triangles.add_argument("--seed", type=int, default=0)
     add_backend_option(triangles)
     triangles.set_defaults(func=cmd_triangles)
+
+    suite = sub.add_parser(
+        "suite", help="declarative scenario suites: list, run in parallel, "
+                      "diff against the committed baseline"
+    )
+    suite_sub = suite.add_subparsers(dest="suite_command", required=True)
+
+    s_list = suite_sub.add_parser("list", help="list suites or one suite's scenarios")
+    s_list.add_argument("suite", nargs="?", default=None)
+    s_list.set_defaults(func=cmd_suite_list)
+
+    def add_suite_run_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--workers", type=int, default=1,
+                       help="worker processes (results are identical for any count)")
+        p.add_argument("--backend", choices=["batch", "dict"], default=None,
+                       help="override every scenario's transport backend")
+
+    s_run = suite_sub.add_parser("run", help="run a suite and write artifacts")
+    s_run.add_argument("suite", help="suite name (see 'repro suite list')")
+    add_suite_run_options(s_run)
+    s_run.add_argument("--trials", type=int, default=None,
+                       help="override every scenario's trial count")
+    s_run.add_argument("--out", default=".",
+                       help="directory for BENCH_suite*.json artifacts")
+    s_run.add_argument("--verbose", action="store_true",
+                       help="print each trial as it completes")
+    s_run.set_defaults(func=cmd_suite_run)
+
+    s_compare = suite_sub.add_parser(
+        "compare", help="regression-gate a fresh run against a baseline snapshot"
+    )
+    s_compare.add_argument("suite", nargs="?", default=None,
+                           help="suite to run fresh (default: the baseline's)")
+    s_compare.add_argument("--baseline", default="BENCH_suite.json",
+                           help="committed aggregate snapshot to diff against")
+    s_compare.add_argument("--fresh", default=None,
+                           help="already-produced fresh snapshot (skips the run)")
+    s_compare.add_argument("--max-regression", type=float, default=10.0,
+                           help="allowed mean regression in percent (default 10)")
+    add_suite_run_options(s_compare)
+    s_compare.set_defaults(func=cmd_suite_compare)
     return parser
 
 

@@ -134,14 +134,15 @@ def solve_d1c(
     graph: nx.Graph,
     params: Optional[ColoringParameters] = None,
     mode: str = "congest",
+    bandwidth_bits: Optional[int] = None,
     seed: Optional[int] = None,
     backend: str = "batch",
     ledger: str = "records",
 ) -> ColoringResult:
     """Solve (deg+1)-coloring (Corollary 1)."""
     return solve_instance(
-        ColoringInstance.d1c(graph), params=params, mode=mode, seed=seed,
-        backend=backend, ledger=ledger,
+        ColoringInstance.d1c(graph), params=params, mode=mode,
+        bandwidth_bits=bandwidth_bits, seed=seed, backend=backend, ledger=ledger,
     )
 
 
@@ -149,6 +150,7 @@ def solve_delta_plus_one(
     graph: nx.Graph,
     params: Optional[ColoringParameters] = None,
     mode: str = "congest",
+    bandwidth_bits: Optional[int] = None,
     seed: Optional[int] = None,
     backend: str = "batch",
     ledger: str = "records",
@@ -156,5 +158,5 @@ def solve_delta_plus_one(
     """Solve (Δ+1)-coloring with the same pipeline."""
     return solve_instance(
         ColoringInstance.delta_plus_one(graph), params=params, mode=mode,
-        seed=seed, backend=backend, ledger=ledger,
+        bandwidth_bits=bandwidth_bits, seed=seed, backend=backend, ledger=ledger,
     )

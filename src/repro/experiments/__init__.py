@@ -1,0 +1,73 @@
+"""Experiment orchestration: declarative scenario suites, runner, artifacts, gate.
+
+The subsystem the benchmarks and the ``repro suite`` CLI are built on:
+
+* :mod:`repro.experiments.spec` — :class:`ScenarioSpec` and deterministic
+  per-trial seed derivation;
+* :mod:`repro.experiments.registry` — graph families, solvers, and the named
+  suites (``smoke``, ``coloring``, ``bandwidth``, ``detection``, ``scaling``);
+* :mod:`repro.experiments.runner` — serial / process-parallel trial execution
+  with results independent of worker count;
+* :mod:`repro.experiments.artifacts` — JSONL trial store plus the
+  byte-deterministic ``BENCH_suite.json`` aggregate snapshot;
+* :mod:`repro.experiments.compare` — the regression gate diffing a fresh run
+  against the committed baseline.
+"""
+
+from repro.experiments.artifacts import (
+    SUITE_FILENAME,
+    TIMING_FILENAME,
+    TRIALS_FILENAME,
+    aggregate_suite,
+    canonical_dumps,
+    load_suite_summary,
+    load_trial_rows,
+    timing_summary,
+    write_suite_artifacts,
+    write_trial_rows,
+)
+from repro.experiments.compare import Finding, compare_summaries, gate_passes
+from repro.experiments.registry import (
+    GRAPH_FAMILIES,
+    SOLVERS,
+    get_suite,
+    suite_names,
+    validate_spec,
+)
+from repro.experiments.runner import (
+    ScenarioResult,
+    SuiteResult,
+    run_scenarios,
+    run_suite,
+    run_trial,
+)
+from repro.experiments.spec import ScenarioSpec, derive_seed, trial_seeds
+
+__all__ = [
+    "ScenarioSpec",
+    "ScenarioResult",
+    "SuiteResult",
+    "Finding",
+    "GRAPH_FAMILIES",
+    "SOLVERS",
+    "SUITE_FILENAME",
+    "TIMING_FILENAME",
+    "TRIALS_FILENAME",
+    "aggregate_suite",
+    "canonical_dumps",
+    "compare_summaries",
+    "derive_seed",
+    "gate_passes",
+    "get_suite",
+    "load_suite_summary",
+    "load_trial_rows",
+    "run_scenarios",
+    "run_suite",
+    "run_trial",
+    "suite_names",
+    "timing_summary",
+    "trial_seeds",
+    "validate_spec",
+    "write_suite_artifacts",
+    "write_trial_rows",
+]

@@ -1,0 +1,112 @@
+"""Artifact store for suite runs: trial JSONL, aggregate snapshot, timing.
+
+A suite run produces three files in the output directory:
+
+* ``BENCH_suite_trials.jsonl`` — one JSON row per trial, in (scenario, trial)
+  order, including seeds and per-trial wall-clock.  The full-resolution
+  record; ``load_trial_rows`` round-trips it.
+* ``BENCH_suite.json`` — the aggregate snapshot: per-scenario summary stats
+  (mean/median/p95/min/max) of every numeric metric, plus validity counts.
+  **Fully deterministic**: it contains no timing and no backend/ledger knobs,
+  so serial and parallel runs — and runs on different transport backends —
+  produce byte-identical files.  This is the file that gets committed as the
+  regression baseline and diffed by ``repro suite compare``.
+* ``BENCH_suite_timing.json`` — wall-clock per scenario and total.  Kept
+  separate precisely so the aggregate stays byte-stable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.experiments.runner import NON_METRIC_KEYS, SuiteResult
+from repro.metrics.report import aggregate_rows
+
+SCHEMA = "repro-suite/1"
+TRIALS_FILENAME = "BENCH_suite_trials.jsonl"
+SUITE_FILENAME = "BENCH_suite.json"
+TIMING_FILENAME = "BENCH_suite_timing.json"
+
+
+def canonical_dumps(payload: object) -> str:
+    """Key-sorted, newline-terminated JSON — the byte-stable serialization."""
+    return json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n"
+
+
+def aggregate_suite(result: SuiteResult) -> Dict[str, object]:
+    """Reduce a suite run to its deterministic aggregate snapshot."""
+    scenarios: Dict[str, object] = {}
+    for scenario in result.scenarios:
+        spec = scenario.spec
+        entry: Dict[str, object] = {
+            "family": spec.family,
+            "solver": spec.solver,
+            "mode": spec.mode,
+            "trials": len(scenario.rows),
+            "valid_trials": scenario.valid_trials,
+            "metrics": aggregate_rows(scenario.rows, exclude=NON_METRIC_KEYS),
+        }
+        if spec.tags:
+            entry["tags"] = sorted(spec.tags)
+        scenarios[spec.name] = entry
+    return {"schema": SCHEMA, "suite": result.suite, "scenarios": scenarios}
+
+
+def timing_summary(result: SuiteResult) -> Dict[str, object]:
+    return {
+        "suite": result.suite,
+        "total_wall_s": result.wall_s,
+        "scenarios": {
+            scenario.spec.name: scenario.wall_s for scenario in result.scenarios
+        },
+    }
+
+
+def write_suite_artifacts(
+    result: SuiteResult,
+    out_dir: Path,
+    summary: Optional[Mapping[str, object]] = None,
+) -> Dict[str, Path]:
+    """Write all three artifacts; returns the paths keyed by artifact kind.
+
+    ``summary`` accepts an already-built :func:`aggregate_suite` snapshot so
+    callers that also display it don't aggregate twice.
+    """
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    paths = {
+        "trials": out_dir / TRIALS_FILENAME,
+        "suite": out_dir / SUITE_FILENAME,
+        "timing": out_dir / TIMING_FILENAME,
+    }
+    write_trial_rows(paths["trials"], result.rows())
+    paths["suite"].write_text(canonical_dumps(summary if summary is not None
+                                              else aggregate_suite(result)))
+    paths["timing"].write_text(canonical_dumps(timing_summary(result)))
+    return paths
+
+
+def write_trial_rows(path: Path, rows: Sequence[Mapping[str, object]]) -> None:
+    lines = [json.dumps(dict(row), sort_keys=True, default=str) for row in rows]
+    Path(path).write_text("\n".join(lines) + ("\n" if lines else ""))
+
+
+def load_trial_rows(path: Path) -> List[Dict[str, object]]:
+    rows: List[Dict[str, object]] = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if line:
+            rows.append(json.loads(line))
+    return rows
+
+
+def load_suite_summary(path: Path) -> Dict[str, object]:
+    summary = json.loads(Path(path).read_text())
+    schema = summary.get("schema")
+    if schema != SCHEMA:
+        raise ValueError(
+            f"{path}: unsupported suite snapshot schema {schema!r} (expected {SCHEMA!r})"
+        )
+    return summary

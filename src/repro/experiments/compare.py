@@ -1,0 +1,140 @@
+"""Regression gate: diff a fresh suite aggregate against a committed baseline.
+
+The gate fails on anything that should never drift silently across PRs:
+
+* suite/scenario set mismatches (a scenario vanished or appeared — either way
+  the committed baseline must be refreshed deliberately);
+* correctness drift (``valid_trials`` dropped);
+* cost regressions: any higher-is-worse metric's mean grew by more than the
+  allowed fraction.
+
+Improvements (means shrinking) are reported as informational findings so a
+PR that makes things faster shows up in the compare output, but they do not
+fail the gate — refreshing the baseline is still recommended.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping
+
+#: Metrics where a larger mean is a regression.  Anything not listed is
+#: reported when it drifts but never fails the gate (e.g. ``flagged_edges``
+#: moves legitimately with detection randomness).
+HIGHER_IS_WORSE = (
+    "rounds",
+    "randomized_rounds",
+    "fallback_nodes",
+    "total_bits",
+    "bits_per_edge",
+    "max_edge_bits",
+    "colors_used",
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One compare observation; ``severity`` is ``"fail"`` or ``"info"``."""
+
+    severity: str
+    scenario: str
+    metric: str
+    detail: str
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "severity": self.severity,
+            "scenario": self.scenario,
+            "metric": self.metric,
+            "detail": self.detail,
+        }
+
+
+def compare_summaries(
+    baseline: Mapping[str, object],
+    fresh: Mapping[str, object],
+    max_regression: float = 0.10,
+) -> List[Finding]:
+    """Diff two aggregate snapshots; ``max_regression`` is a fraction (0.10 = 10%)."""
+    findings: List[Finding] = []
+    if baseline.get("suite") != fresh.get("suite"):
+        findings.append(Finding(
+            "fail", "-", "suite",
+            f"suite mismatch: baseline={baseline.get('suite')!r} fresh={fresh.get('suite')!r}",
+        ))
+        return findings
+
+    base_scenarios: Mapping[str, Mapping] = baseline.get("scenarios", {})
+    fresh_scenarios: Mapping[str, Mapping] = fresh.get("scenarios", {})
+    for name in sorted(set(base_scenarios) - set(fresh_scenarios)):
+        findings.append(Finding("fail", name, "-", "scenario missing from fresh run"))
+    for name in sorted(set(fresh_scenarios) - set(base_scenarios)):
+        findings.append(Finding(
+            "fail", name, "-",
+            "new scenario not in baseline (refresh the committed BENCH_suite.json)",
+        ))
+
+    for name in sorted(set(base_scenarios) & set(fresh_scenarios)):
+        findings.extend(_compare_scenario(
+            name, base_scenarios[name], fresh_scenarios[name], max_regression
+        ))
+    return findings
+
+
+def _compare_scenario(
+    name: str,
+    base: Mapping[str, object],
+    fresh: Mapping[str, object],
+    max_regression: float,
+) -> List[Finding]:
+    findings: List[Finding] = []
+    if base.get("trials") != fresh.get("trials"):
+        findings.append(Finding(
+            "fail", name, "trials",
+            f"trial count changed: {base.get('trials')} -> {fresh.get('trials')}",
+        ))
+        return findings
+    base_valid = int(base.get("valid_trials", 0))
+    fresh_valid = int(fresh.get("valid_trials", 0))
+    if fresh_valid < base_valid:
+        findings.append(Finding(
+            "fail", name, "valid_trials",
+            f"correctness drift: {base_valid} -> {fresh_valid} valid trials",
+        ))
+
+    base_metrics: Mapping[str, Mapping] = base.get("metrics", {})
+    fresh_metrics: Mapping[str, Mapping] = fresh.get("metrics", {})
+    for metric in sorted(set(base_metrics) - set(fresh_metrics)):
+        findings.append(Finding("fail", name, metric, "metric missing from fresh run"))
+    for metric in sorted(set(fresh_metrics) - set(base_metrics)):
+        findings.append(Finding(
+            "fail", name, metric,
+            "new metric not in baseline (refresh the committed BENCH_suite.json)",
+        ))
+    for metric in sorted(set(base_metrics) & set(fresh_metrics)):
+        old_stats = base_metrics[metric]
+        new_stats = fresh_metrics[metric]
+        old = float(old_stats.get("mean", 0.0))
+        new = float(new_stats.get("mean", 0.0))
+        if old != new:
+            change = (new - old) / old if old else float("inf")
+            detail = f"mean {old:g} -> {new:g} ({change:+.1%})"
+            if metric in HIGHER_IS_WORSE and change > max_regression:
+                findings.append(Finding("fail", name, metric, f"regression: {detail}"))
+            else:
+                findings.append(Finding("info", name, metric, detail))
+        # The gate keys off the mean, but any drifting statistic must be
+        # surfaced — otherwise the snapshot silently stops matching the
+        # committed baseline byte-for-byte.
+        drifted = [
+            f"{stat} {old_stats[stat]:g} -> {new_stats[stat]:g}"
+            for stat in sorted((set(old_stats) & set(new_stats)) - {"mean"})
+            if float(old_stats[stat]) != float(new_stats[stat])
+        ]
+        if drifted:
+            findings.append(Finding("info", name, metric, "; ".join(drifted)))
+    return findings
+
+
+def gate_passes(findings: List[Finding]) -> bool:
+    return not any(f.severity == "fail" for f in findings)

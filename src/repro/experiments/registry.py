@@ -1,0 +1,518 @@
+"""Graph-family registry, solver registry, and the named scenario suites.
+
+Three registries turn a :class:`~repro.experiments.spec.ScenarioSpec` into an
+executable trial:
+
+* ``GRAPH_FAMILIES`` — ``name -> builder(seed, **family_params)`` returning
+  ``(graph, truth)``; ``truth`` carries planted ground-truth structure
+  (clique membership, triangle-rich edges) for scoring, or ``None``.
+* ``SOLVERS`` — ``name -> solver(spec, graph, truth, seed)`` returning a flat
+  metrics dict for one trial.  All coloring solvers share the same metric
+  schema so suites can be aggregated and diffed uniformly.
+* ``SUITES`` — the named scenario collections the CLI exposes
+  (``smoke``, ``coloring``, ``bandwidth``, ``detection``, ``scaling``).
+  The suites absorb the workloads of the historical ``bench_e*`` scripts —
+  scenarios tagged ``e09``/``e11``/``e12``/``e16`` are the exact points those
+  benchmarks now resolve via :func:`get_suite`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+import networkx as nx
+
+from repro.baselines import johansson_coloring, naive_compute_acd, naive_multi_trial
+from repro.congest import Network
+from repro.core import ColoringInstance, ColoringParameters, solve_d1c, solve_d1lc, solve_delta_plus_one
+from repro.core.acd import compute_acd
+from repro.core.multitrial import multi_trial
+from repro.core.state import ColoringResult, ColoringState
+from repro.experiments.spec import BACKENDS, LEDGERS, MODES, ScenarioSpec
+from repro.graphs import (
+    degree_plus_one_lists,
+    delta_plus_one_lists,
+    gnp_graph,
+    huge_color_space_lists,
+    locally_sparse_graph,
+    numeric_degree_lists,
+    planted_almost_cliques,
+    power_law_graph,
+    random_geometric_graph,
+    random_regular_graph,
+    ring_of_cliques,
+    shared_pool_lists,
+    triangle_rich_graph,
+    four_cycle_rich_graph,
+)
+from repro.sampling import detect_four_cycle_rich_pairs, detect_triangle_rich_edges
+from repro.sampling.triangles import true_triangle_count
+
+GraphBuilder = Callable[..., Tuple[nx.Graph, object]]
+Solver = Callable[[ScenarioSpec, nx.Graph, object, int], Dict[str, object]]
+
+
+# --------------------------------------------------------------------------- #
+# Graph families
+# --------------------------------------------------------------------------- #
+
+def _gnp(seed: int, n: int = 100, p: float = 0.1):
+    return gnp_graph(n, p, seed=seed), None
+
+
+def _gnp_avg_degree(seed: int, n: int = 100, avg_degree: float = 10.0):
+    """G(n, p) with p chosen for a target average degree (the E9/E11 sweep)."""
+    return gnp_graph(n, min(0.5, avg_degree / n), seed=seed), None
+
+
+def _power_law(seed: int, n: int = 100, attachment: int = 3, triangle_prob: float = 0.3):
+    return power_law_graph(n, attachment, triangle_prob, seed=seed), None
+
+
+def _random_regular(seed: int, n: int = 64, degree: int = 6):
+    return random_regular_graph(n, degree, seed=seed), None
+
+
+def _random_geometric(seed: int, n: int = 100, radius: float = 0.15):
+    return random_geometric_graph(n, radius, seed=seed), None
+
+
+def _ring_of_cliques(seed: int, num_cliques: int = 6, clique_size: int = 8):
+    # Deterministic family; the seed is accepted for interface uniformity.
+    return ring_of_cliques(num_cliques, clique_size), None
+
+
+def _locally_sparse(seed: int, n: int = 100, degree: int = 8):
+    return locally_sparse_graph(n, degree=degree, seed=seed), None
+
+
+def _planted_almost_cliques(seed: int, **params):
+    planted = planted_almost_cliques(seed=seed, **params)
+    return planted.graph, planted
+
+
+def _triangle_rich(seed: int, **params):
+    planted = triangle_rich_graph(seed=seed, **params)
+    return planted.graph, planted
+
+
+def _four_cycle_rich(seed: int, **params):
+    planted = four_cycle_rich_graph(seed=seed, **params)
+    return planted.graph, planted
+
+
+GRAPH_FAMILIES: Dict[str, GraphBuilder] = {
+    "gnp": _gnp,
+    "gnp_avg_degree": _gnp_avg_degree,
+    "power_law": _power_law,
+    "random_regular": _random_regular,
+    "random_geometric": _random_geometric,
+    "ring_of_cliques": _ring_of_cliques,
+    "locally_sparse": _locally_sparse,
+    "planted_almost_cliques": _planted_almost_cliques,
+    "triangle_rich": _triangle_rich,
+    "four_cycle_rich": _four_cycle_rich,
+}
+
+
+# --------------------------------------------------------------------------- #
+# Solvers
+# --------------------------------------------------------------------------- #
+
+def _coloring_fingerprint(coloring: Mapping) -> str:
+    """Stable digest of the full node->color assignment.
+
+    Aggregate counts (rounds, bits, colors used) can survive a bug that
+    permutes which node got which color; the fingerprint pins the exact
+    assignment, so cross-backend trial rows must match it too.
+    """
+    items = sorted(coloring.items(), key=repr)
+    digest = hashlib.sha256(repr(items).encode("utf-8")).hexdigest()
+    return digest[:16]
+
+
+def _coloring_metrics(result: ColoringResult, graph: nx.Graph) -> Dict[str, object]:
+    edges = max(1, graph.number_of_edges())
+    return {
+        "valid": bool(result.is_valid),
+        "rounds": result.rounds,
+        "randomized_rounds": result.randomized_rounds,
+        "fallback_nodes": result.fallback_nodes,
+        "total_bits": result.total_bits,
+        "bits_per_edge": round(result.total_bits / edges, 4),
+        "max_edge_bits": result.max_edge_bits,
+        "bandwidth_bits": result.bandwidth_bits,
+        "colors_used": len({c for c in result.coloring.values() if c is not None}),
+        "coloring_sha": _coloring_fingerprint(result.coloring),
+    }
+
+
+def _build_lists(spec: ScenarioSpec, graph: nx.Graph, seed: int):
+    kind = spec.solver_params.get("lists", "degree_plus_one")
+    if kind == "degree_plus_one":
+        return degree_plus_one_lists(graph, seed=seed)
+    if kind == "delta_plus_one":
+        return delta_plus_one_lists(graph)
+    if kind == "numeric":
+        return numeric_degree_lists(graph, extra=int(spec.solver_params.get("extra", 0)))
+    if kind == "shared_pool":
+        return shared_pool_lists(graph, seed=seed)
+    if kind == "huge":
+        bits = int(spec.solver_params.get("color_bits", 60))
+        return huge_color_space_lists(graph, color_space_bits=bits, seed=seed)
+    raise ValueError(f"unknown list kind: {kind!r}")
+
+
+def _solver_params(spec: ScenarioSpec, seed: int) -> ColoringParameters:
+    return ColoringParameters.small(
+        seed=seed, uniform=bool(spec.solver_params.get("uniform", False))
+    )
+
+
+def _solve_d1c(spec: ScenarioSpec, graph: nx.Graph, truth, seed: int):
+    result = solve_d1c(
+        graph, params=_solver_params(spec, seed), mode=spec.mode,
+        bandwidth_bits=spec.bandwidth_bits, backend=spec.backend, ledger=spec.ledger,
+    )
+    return _coloring_metrics(result, graph)
+
+
+def _solve_d1lc(spec: ScenarioSpec, graph: nx.Graph, truth, seed: int):
+    lists = _build_lists(spec, graph, seed)
+    result = solve_d1lc(
+        graph, lists, params=_solver_params(spec, seed), mode=spec.mode,
+        bandwidth_bits=spec.bandwidth_bits, backend=spec.backend, ledger=spec.ledger,
+    )
+    return _coloring_metrics(result, graph)
+
+
+def _solve_delta_plus_one(spec: ScenarioSpec, graph: nx.Graph, truth, seed: int):
+    result = solve_delta_plus_one(
+        graph, params=_solver_params(spec, seed), mode=spec.mode,
+        bandwidth_bits=spec.bandwidth_bits, backend=spec.backend, ledger=spec.ledger,
+    )
+    return _coloring_metrics(result, graph)
+
+
+def _solve_johansson(spec: ScenarioSpec, graph: nx.Graph, truth, seed: int):
+    result = johansson_coloring(
+        graph, mode=spec.mode, seed=seed, backend=spec.backend, ledger=spec.ledger,
+    )
+    return _coloring_metrics(result, graph)
+
+
+def _solve_acd(spec: ScenarioSpec, graph: nx.Graph, truth, seed: int):
+    network = Network(
+        graph, mode=spec.mode, bandwidth_bits=spec.bandwidth_bits,
+        backend=spec.backend, ledger=spec.ledger,
+    )
+    params = ColoringParameters.small(seed=seed)
+    variant = spec.solver_params.get("variant", "hashed")
+    if variant == "hashed":
+        acd = compute_acd(network, params)
+    elif variant == "naive":
+        acd = naive_compute_acd(network, params)
+    else:
+        raise ValueError(f"unknown ACD variant: {variant!r}")
+    edges = max(1, graph.number_of_edges())
+    metrics: Dict[str, object] = {
+        "valid": True,
+        "rounds": acd.rounds_used,
+        "total_bits": network.ledger.total_bits,
+        "bits_per_edge": round(network.ledger.total_bits / edges, 4),
+        "max_edge_bits": network.ledger.max_edge_bits,
+        "bandwidth_bits": network.bandwidth_bits,
+    }
+    metrics.update(acd.partition_summary())
+    if truth is not None and hasattr(truth, "cliques"):
+        metrics["planted_cliques"] = len(truth.cliques)
+    return metrics
+
+
+def _solve_multitrial(spec: ScenarioSpec, graph: nx.Graph, truth, seed: int):
+    tries = int(spec.solver_params.get("tries", 4))
+    variant = spec.solver_params.get("variant", "hashed")
+    delta = max((d for _, d in graph.degree()), default=0)
+    lists = numeric_degree_lists(
+        graph, extra=int(spec.solver_params.get("extra_factor", 3)) * delta
+    )
+    instance = ColoringInstance.d1lc(graph, lists)
+    network = Network(
+        graph, mode=spec.mode, bandwidth_bits=spec.bandwidth_bits,
+        backend=spec.backend, ledger=spec.ledger,
+    )
+    state = ColoringState(instance, network, ColoringParameters.small(seed=seed))
+    if variant == "hashed":
+        colored = multi_trial(state, tries)
+    elif variant == "naive":
+        colored = naive_multi_trial(state, tries)
+    else:
+        raise ValueError(f"unknown MultiTrial variant: {variant!r}")
+    conflicts = sum(
+        1 for u, v in graph.edges()
+        if state.colors.get(u) is not None and state.colors.get(u) == state.colors.get(v)
+    )
+    edges = max(1, graph.number_of_edges())
+    return {
+        "valid": conflicts == 0,
+        "rounds": network.ledger.rounds,
+        "colored": len(colored),
+        "tries": tries,
+        "total_bits": network.ledger.total_bits,
+        "bits_per_edge": round(network.ledger.total_bits / edges, 4),
+        "max_edge_bits": network.ledger.max_edge_bits,
+        "bandwidth_bits": network.bandwidth_bits,
+    }
+
+
+def _solve_triangles(spec: ScenarioSpec, graph: nx.Graph, truth, seed: int):
+    network = Network(
+        graph, mode=spec.mode, bandwidth_bits=spec.bandwidth_bits,
+        backend=spec.backend, ledger=spec.ledger,
+    )
+    eps = float(spec.solver_params.get("eps", 0.3))
+    result = detect_triangle_rich_edges(network, eps=eps, seed=seed)
+    metrics: Dict[str, object] = {
+        "valid": True,
+        "rounds": result.rounds_used,
+        "threshold": round(result.threshold, 4),
+        "flagged_edges": len(result.flagged),
+        "total_bits": network.ledger.total_bits,
+        "max_edge_bits": network.ledger.max_edge_bits,
+    }
+    # Score against exact triangle counts: every edge in >= 2*threshold
+    # triangles must be flagged (Theorem 2's guarantee zone).
+    rich = flagged_rich = 0
+    for u, v in graph.edges():
+        if true_triangle_count(network, u, v) >= 2 * result.threshold:
+            rich += 1
+            flagged_rich += int(result.is_flagged(u, v))
+    metrics["rich_edges"] = rich
+    metrics["rich_edges_flagged"] = flagged_rich
+    return metrics
+
+
+def _solve_four_cycles(spec: ScenarioSpec, graph: nx.Graph, truth, seed: int):
+    network = Network(
+        graph, mode=spec.mode, bandwidth_bits=spec.bandwidth_bits,
+        backend=spec.backend, ledger=spec.ledger,
+    )
+    eps = float(spec.solver_params.get("eps", 0.3))
+    result = detect_four_cycle_rich_pairs(network, eps=eps, seed=seed)
+    return {
+        "valid": True,
+        "rounds": result.rounds_used,
+        "threshold": round(result.threshold, 4),
+        "flagged_wedges": len(result.flagged),
+        "total_bits": network.ledger.total_bits,
+        "max_edge_bits": network.ledger.max_edge_bits,
+    }
+
+
+SOLVERS: Dict[str, Solver] = {
+    "d1c": _solve_d1c,
+    "d1lc": _solve_d1lc,
+    "delta_plus_one": _solve_delta_plus_one,
+    "johansson": _solve_johansson,
+    "acd": _solve_acd,
+    "multitrial": _solve_multitrial,
+    "triangles": _solve_triangles,
+    "four_cycles": _solve_four_cycles,
+}
+
+
+# --------------------------------------------------------------------------- #
+# Suites
+# --------------------------------------------------------------------------- #
+
+def _strict_budget(n: int) -> int:
+    """The strict log2(n)-ish budget the bandwidth ablation (E12) runs at."""
+    return max(8, int(math.log2(n)) + 1)
+
+
+def _smoke_suite() -> List[ScenarioSpec]:
+    """Small, fast scenarios across every workload class — the CI gate."""
+    return [
+        ScenarioSpec("gnp-d1c", "gnp", "d1c",
+                     family_params={"n": 60, "p": 0.12}, trials=2),
+        ScenarioSpec("powerlaw-d1lc", "power_law", "d1lc",
+                     family_params={"n": 60, "attachment": 4}, trials=2),
+        ScenarioSpec("ring-of-cliques-d1c", "ring_of_cliques", "d1c",
+                     family_params={"num_cliques": 6, "clique_size": 7}, trials=2),
+        ScenarioSpec("geometric-d1lc", "random_geometric", "d1lc",
+                     family_params={"n": 70, "radius": 0.2}, trials=2),
+        ScenarioSpec("gnp-johansson", "gnp", "johansson",
+                     family_params={"n": 60, "p": 0.12}, trials=2),
+        ScenarioSpec("planted-acd", "planted_almost_cliques", "acd",
+                     family_params={"num_cliques": 3, "clique_size": 12, "num_sparse": 8},
+                     trials=2),
+        ScenarioSpec("triangle-detection", "triangle_rich", "triangles",
+                     family_params={"n": 70, "planted_cliques": 2, "clique_size": 10},
+                     solver_params={"eps": 0.3}, trials=1),
+    ]
+
+
+def _coloring_suite() -> List[ScenarioSpec]:
+    """Pipeline vs baseline head-to-heads plus palette-structure variants (E11)."""
+    specs: List[ScenarioSpec] = []
+    for n in (60, 120, 240, 480):
+        family_params = {"n": n, "avg_degree": 8.0}
+        specs.append(ScenarioSpec(
+            f"d1c-gnp-n{n}", "gnp_avg_degree", "d1c",
+            family_params=family_params, seed=n, tags=("e11", "pipeline"),
+        ))
+        specs.append(ScenarioSpec(
+            f"johansson-gnp-n{n}", "gnp_avg_degree", "johansson",
+            family_params=family_params, seed=n, tags=("e11", "baseline"),
+        ))
+    specs.extend([
+        ScenarioSpec("delta-plus-one-gnp", "gnp", "delta_plus_one",
+                     family_params={"n": 120, "p": 0.1}),
+        ScenarioSpec("d1lc-huge-colorspace", "gnp", "d1lc",
+                     family_params={"n": 80, "p": 0.12},
+                     solver_params={"lists": "huge", "color_bits": 60}),
+        ScenarioSpec("d1lc-shared-pool", "gnp", "d1lc",
+                     family_params={"n": 80, "p": 0.12},
+                     solver_params={"lists": "shared_pool"}),
+        ScenarioSpec("d1c-local-mode", "gnp", "d1c",
+                     family_params={"n": 80, "p": 0.12}, mode="local"),
+        ScenarioSpec("d1c-uniform-impl", "gnp", "d1c",
+                     family_params={"n": 80, "p": 0.12},
+                     solver_params={"uniform": True}),
+    ])
+    return specs
+
+
+def _bandwidth_suite() -> List[ScenarioSpec]:
+    """The hashed-vs-naive ablations at a strict budget (E12) plus regimes."""
+    specs: List[ScenarioSpec] = []
+    for tries in (4, 16, 32):
+        for variant in ("hashed", "naive"):
+            specs.append(ScenarioSpec(
+                f"multitrial-{variant}-x{tries}", "gnp", "multitrial",
+                family_params={"n": 100, "p": 0.12},
+                solver_params={"tries": tries, "variant": variant},
+                bandwidth_bits=_strict_budget(100), seed=12,
+                tags=("e12", "multitrial", variant),
+            ))
+    for clique_size in (16, 32, 48):
+        n = 3 * clique_size + 10
+        for variant in ("hashed", "naive"):
+            specs.append(ScenarioSpec(
+                f"acd-{variant}-k{clique_size}", "planted_almost_cliques", "acd",
+                family_params={"num_cliques": 3, "clique_size": clique_size,
+                               "num_sparse": 10},
+                solver_params={"variant": variant},
+                bandwidth_bits=_strict_budget(n), seed=clique_size,
+                tags=("e12", "acd", variant),
+            ))
+    # Bandwidth regimes: the same workload under tight and loose budgets.
+    for bits in (8, 32, 128):
+        specs.append(ScenarioSpec(
+            f"d1c-budget-{bits}b", "gnp", "d1c",
+            family_params={"n": 100, "p": 0.1}, bandwidth_bits=bits,
+            tags=("regimes",),
+        ))
+    return specs
+
+
+def _detection_suite() -> List[ScenarioSpec]:
+    """Triangle / 4-cycle detection sweeps (E5/E6 workloads)."""
+    specs: List[ScenarioSpec] = []
+    for eps in (0.2, 0.3, 0.5):
+        specs.append(ScenarioSpec(
+            f"triangles-eps{eps}", "triangle_rich", "triangles",
+            family_params={"n": 100, "planted_cliques": 3, "clique_size": 12},
+            solver_params={"eps": eps}, tags=("e05",),
+        ))
+    specs.append(ScenarioSpec(
+        "triangles-locally-sparse", "locally_sparse", "triangles",
+        family_params={"n": 80, "degree": 6}, solver_params={"eps": 0.3},
+    ))
+    specs.append(ScenarioSpec(
+        "four-cycles", "four_cycle_rich", "four_cycles",
+        family_params={"n": 80, "planted_blocks": 2, "side_size": 8},
+        solver_params={"eps": 0.3}, tags=("e06",),
+    ))
+    return specs
+
+
+def _scaling_suite() -> List[ScenarioSpec]:
+    """Round scaling with n across families (E9/E10) incl. the E16 workload."""
+    specs: List[ScenarioSpec] = []
+    for n in (60, 120, 240):
+        tags = ("e09", "e16") if n == 240 else ("e09",)
+        specs.append(ScenarioSpec(
+            f"d1lc-gnp-n{n}", "gnp_avg_degree", "d1lc",
+            family_params={"n": n, "avg_degree": 10.0}, seed=n, tags=tags,
+        ))
+    specs.extend([
+        ScenarioSpec("d1lc-powerlaw-high-degree", "power_law", "d1lc",
+                     family_params={"n": 300, "attachment": 6}, tags=("e10",)),
+        ScenarioSpec("d1lc-random-regular", "random_regular", "d1lc",
+                     family_params={"n": 128, "degree": 8}),
+        ScenarioSpec("d1c-ring-of-cliques-large", "ring_of_cliques", "d1c",
+                     family_params={"num_cliques": 12, "clique_size": 8}),
+        ScenarioSpec("d1lc-geometric-large", "random_geometric", "d1lc",
+                     family_params={"n": 200, "radius": 0.12}),
+    ])
+    return specs
+
+
+_SUITE_BUILDERS: Dict[str, Callable[[], List[ScenarioSpec]]] = {
+    "smoke": _smoke_suite,
+    "coloring": _coloring_suite,
+    "bandwidth": _bandwidth_suite,
+    "detection": _detection_suite,
+    "scaling": _scaling_suite,
+}
+
+
+def suite_names() -> List[str]:
+    return sorted(_SUITE_BUILDERS)
+
+
+def get_suite(name: str) -> List[ScenarioSpec]:
+    """Resolve a suite name to its validated scenario list."""
+    try:
+        builder = _SUITE_BUILDERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown suite: {name!r} (available: {', '.join(suite_names())})"
+        ) from None
+    specs = builder()
+    seen = set()
+    for spec in specs:
+        if spec.name in seen:
+            raise ValueError(f"suite {name!r} has duplicate scenario {spec.name!r}")
+        seen.add(spec.name)
+        validate_spec(spec)
+    return specs
+
+
+def validate_spec(spec: ScenarioSpec) -> None:
+    """Reject a spec that references unknown registries or invalid knobs."""
+    if not spec.name:
+        raise ValueError("scenario name must be non-empty")
+    if spec.family not in GRAPH_FAMILIES:
+        raise ValueError(
+            f"{spec.name}: unknown graph family {spec.family!r} "
+            f"(available: {', '.join(sorted(GRAPH_FAMILIES))})"
+        )
+    if spec.solver not in SOLVERS:
+        raise ValueError(
+            f"{spec.name}: unknown solver {spec.solver!r} "
+            f"(available: {', '.join(sorted(SOLVERS))})"
+        )
+    if spec.backend not in BACKENDS:
+        raise ValueError(f"{spec.name}: unknown backend {spec.backend!r}")
+    if spec.ledger not in LEDGERS:
+        raise ValueError(f"{spec.name}: unknown ledger {spec.ledger!r}")
+    if spec.mode not in MODES:
+        raise ValueError(f"{spec.name}: unknown mode {spec.mode!r}")
+    if spec.trials < 1:
+        raise ValueError(f"{spec.name}: trials must be >= 1")
+    if spec.bandwidth_bits is not None and int(spec.bandwidth_bits) < 1:
+        raise ValueError(f"{spec.name}: bandwidth_bits must be >= 1 or None")

@@ -1,0 +1,186 @@
+"""Trial execution: serial or process-parallel, with deterministic results.
+
+The runner turns scenario specs into trial rows.  Every trial is an
+independent unit of work — build the graph from its derived graph seed, run
+the solver with its derived solver seed, collect metrics — so trials can be
+fanned out over a :class:`~concurrent.futures.ProcessPoolExecutor` freely:
+results depend only on the spec and the trial index, never on scheduling.
+The only non-deterministic field is each row's ``wall_s`` timing, which the
+artifact store keeps out of the aggregate snapshot for exactly that reason.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+import repro
+
+from repro.experiments.registry import GRAPH_FAMILIES, SOLVERS, validate_spec
+from repro.experiments.spec import ScenarioSpec, trial_seeds
+
+#: Row keys describing execution rather than the measured workload; they are
+#: excluded from aggregation (timing) or aggregated specially (identity).
+NON_METRIC_KEYS = (
+    "scenario", "family", "solver", "trial", "graph_seed", "solver_seed", "wall_s",
+)
+
+
+@dataclass
+class ScenarioResult:
+    """All trial rows of one scenario plus its wall-clock cost."""
+
+    spec: ScenarioSpec
+    rows: List[Dict[str, object]]
+    wall_s: float
+
+    @property
+    def valid_trials(self) -> int:
+        return sum(1 for row in self.rows if row.get("valid"))
+
+
+@dataclass
+class SuiteResult:
+    """Ordered scenario results of one suite run."""
+
+    suite: str
+    scenarios: List[ScenarioResult] = field(default_factory=list)
+    wall_s: float = 0.0
+
+    def rows(self) -> List[Dict[str, object]]:
+        return [row for scenario in self.scenarios for row in scenario.rows]
+
+    def rows_for(self, scenario_name: str) -> List[Dict[str, object]]:
+        for scenario in self.scenarios:
+            if scenario.spec.name == scenario_name:
+                return scenario.rows
+        raise KeyError(f"no scenario named {scenario_name!r} in suite {self.suite!r}")
+
+
+def run_trial(spec: ScenarioSpec, trial: int) -> Dict[str, object]:
+    """Execute one trial of ``spec`` and return its flat row."""
+    graph_seed, solver_seed = trial_seeds(spec, trial)
+    graph, truth = GRAPH_FAMILIES[spec.family](graph_seed, **dict(spec.family_params))
+    start = time.perf_counter()
+    metrics = SOLVERS[spec.solver](spec, graph, truth, solver_seed)
+    wall_s = time.perf_counter() - start
+    row: Dict[str, object] = {
+        "scenario": spec.name,
+        "family": spec.family,
+        "solver": spec.solver,
+        "trial": trial,
+        "graph_seed": graph_seed,
+        "solver_seed": solver_seed,
+        "n": graph.number_of_nodes(),
+        "m": graph.number_of_edges(),
+    }
+    row.update(metrics)
+    row["wall_s"] = round(wall_s, 4)
+    return row
+
+
+@contextlib.contextmanager
+def _workers_can_import_repro():
+    """Ensure worker processes can import ``repro``, whatever the start method.
+
+    Under the ``spawn`` start method a worker must import this module just to
+    unpickle the submitted task, *before* any initializer could patch
+    ``sys.path`` — so a parent that made ``repro`` importable by mutating
+    ``sys.path`` (rather than via ``PYTHONPATH``) needs the package root
+    exported through the environment, which every start method inherits.
+    """
+    pkg_root = str(Path(repro.__file__).resolve().parent.parent)
+    previous = os.environ.get("PYTHONPATH")
+    parts = previous.split(os.pathsep) if previous else []
+    if pkg_root in parts:
+        yield
+        return
+    os.environ["PYTHONPATH"] = os.pathsep.join([pkg_root] + parts)
+    try:
+        yield
+    finally:
+        if previous is None:
+            del os.environ["PYTHONPATH"]
+        else:
+            os.environ["PYTHONPATH"] = previous
+
+
+def run_scenarios(
+    specs: Sequence[ScenarioSpec],
+    workers: int = 1,
+    suite: str = "adhoc",
+    progress=None,
+) -> SuiteResult:
+    """Run every trial of every spec, serially or across worker processes.
+
+    ``progress`` is an optional callable receiving one completed trial row at
+    a time (the CLI uses it for live output).  Rows are always assembled in
+    (spec order, trial order), so a parallel run's result is identical to a
+    serial run's apart from wall-clock fields.
+    """
+    for spec in specs:
+        validate_spec(spec)
+    tasks = [(index, spec, trial)
+             for index, spec in enumerate(specs)
+             for trial in range(spec.trials)]
+    results: Dict[tuple, Dict[str, object]] = {}
+    suite_start = time.perf_counter()
+    if workers <= 1 or len(tasks) <= 1:
+        for index, spec, trial in tasks:
+            row = run_trial(spec, trial)
+            results[(index, trial)] = row
+            if progress is not None:
+                progress(row)
+    else:
+        with _workers_can_import_repro(), ProcessPoolExecutor(
+            max_workers=min(workers, len(tasks)),
+        ) as pool:
+            futures = {
+                pool.submit(run_trial, spec, trial): (index, trial)
+                for index, spec, trial in tasks
+            }
+            for future, key in futures.items():
+                results[key] = future.result()
+                if progress is not None:
+                    progress(results[key])
+
+    suite_result = SuiteResult(suite=suite)
+    for index, spec in enumerate(specs):
+        rows = [results[(index, trial)] for trial in range(spec.trials)]
+        scenario_wall = sum(float(row["wall_s"]) for row in rows)
+        suite_result.scenarios.append(
+            ScenarioResult(spec=spec, rows=rows, wall_s=round(scenario_wall, 4))
+        )
+    suite_result.wall_s = round(time.perf_counter() - suite_start, 4)
+    return suite_result
+
+
+def run_suite(
+    name: str,
+    workers: int = 1,
+    backend: Optional[str] = None,
+    trials: Optional[int] = None,
+    progress=None,
+) -> SuiteResult:
+    """Resolve a named suite and run it, with optional global overrides.
+
+    ``backend`` overrides the transport backend of every scenario (a
+    performance-only knob: the aggregate artifact is identical across
+    backends, which the CI smoke job exploits to cross-check the transport
+    engine).  ``trials`` overrides every scenario's trial count.
+    """
+    from dataclasses import replace
+
+    from repro.experiments.registry import get_suite
+
+    specs = get_suite(name)
+    if backend is not None:
+        specs = [replace(spec, backend=backend) for spec in specs]
+    if trials is not None:
+        specs = [replace(spec, trials=trials) for spec in specs]
+    return run_scenarios(specs, workers=workers, suite=name, progress=progress)

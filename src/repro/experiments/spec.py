@@ -1,0 +1,95 @@
+"""Declarative scenario specifications and deterministic seed derivation.
+
+A :class:`ScenarioSpec` names everything a trial needs — graph family and its
+parameters, solver and its parameters, transport backend, ledger kind,
+bandwidth/mode, trial count and base seed — as plain data, so scenarios can be
+listed, diffed, pickled to worker processes, and re-run bit-identically.
+
+Seed derivation is the determinism backbone of the runner: every trial's
+graph seed and solver seed are pure functions of the spec's *workload* fields
+(never of execution order, worker count, or scenario name), so
+
+* parallel runs reproduce serial runs byte-for-byte, and
+* two scenarios that share a graph family, family parameters and base seed —
+  e.g. the D1C pipeline vs the Johansson baseline, or hashed vs naive
+  MultiTrial — color the *same* graphs with the *same* solver randomness,
+  making head-to-head rows a controlled comparison.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Tuple
+
+BACKENDS = ("batch", "dict")
+LEDGERS = ("records", "counters")
+MODES = ("congest", "local")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One named workload point: graph family × solver × execution knobs.
+
+    ``backend`` and ``ledger`` are performance knobs only — the transport
+    engine guarantees identical accounting across them — so they do not feed
+    the seed derivation and do not appear in aggregate artifacts.
+    """
+
+    name: str
+    family: str
+    solver: str
+    family_params: Mapping[str, object] = field(default_factory=dict)
+    solver_params: Mapping[str, object] = field(default_factory=dict)
+    backend: str = "batch"
+    ledger: str = "counters"
+    mode: str = "congest"
+    bandwidth_bits: object = None  # Optional[int]
+    trials: int = 1
+    seed: int = 0
+    tags: Tuple[str, ...] = ()
+
+    def describe(self) -> Dict[str, object]:
+        """A flat, printable summary row (used by ``repro suite list``)."""
+        return {
+            "scenario": self.name,
+            "family": self.family,
+            "solver": self.solver,
+            "trials": self.trials,
+            "mode": self.mode,
+            "bandwidth": self.bandwidth_bits if self.bandwidth_bits is not None else "default",
+            "tags": ",".join(self.tags) or "-",
+        }
+
+
+def canonical_params(params: Mapping[str, object]) -> str:
+    """Canonical JSON encoding of a parameter mapping (key-order independent)."""
+    return json.dumps(dict(params), sort_keys=True, separators=(",", ":"), default=str)
+
+
+def derive_seed(*parts: object) -> int:
+    """Hash arbitrary labelled parts into a stable 31-bit seed.
+
+    Uses SHA-256 rather than ``hash()`` so the value is identical across
+    processes and interpreter runs (``hash()`` is salted per process).
+    """
+    text = ":".join(str(part) for part in parts)
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big") % (2**31 - 1)
+
+
+def trial_seeds(spec: ScenarioSpec, trial: int) -> Tuple[int, int]:
+    """Derive the ``(graph_seed, solver_seed)`` pair for one trial.
+
+    Both seeds depend only on ``spec.seed`` and the trial index — plus, for
+    the graph seed, the graph family and its parameters — so scenarios that
+    differ only in solver (pipeline vs baseline) or in performance knobs
+    (backend/ledger) see identical inputs and identical solver randomness.
+    """
+    if trial < 0:
+        raise ValueError("trial index must be non-negative")
+    base = derive_seed("trial", spec.seed, trial)
+    graph_seed = derive_seed("graph", spec.family, canonical_params(spec.family_params), base)
+    solver_seed = derive_seed("solver", base)
+    return graph_seed, solver_seed

@@ -3,6 +3,7 @@
 from repro.graphs.generators import (
     gnp_graph,
     power_law_graph,
+    random_geometric_graph,
     random_regular_graph,
     planted_almost_cliques,
     ring_of_cliques,
@@ -30,6 +31,7 @@ from repro.graphs.properties import (
 __all__ = [
     "gnp_graph",
     "power_law_graph",
+    "random_geometric_graph",
     "random_regular_graph",
     "planted_almost_cliques",
     "ring_of_cliques",

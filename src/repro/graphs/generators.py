@@ -10,6 +10,7 @@ tests and benchmarks can score the distributed algorithms against the truth.
 from __future__ import annotations
 
 import itertools
+import math
 import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
@@ -41,12 +42,36 @@ def power_law_graph(n: int, attachment: int = 3, triangle_prob: float = 0.3,
 
 
 def random_regular_graph(n: int, degree: int, seed: int = 0) -> nx.Graph:
-    """A random ``degree``-regular graph (``n * degree`` must be even)."""
+    """A random ``degree``-regular graph (``n * degree`` must be even).
+
+    A ``degree``-regular graph on ``n`` nodes only exists when ``n * degree``
+    is even; an odd product is rejected rather than silently returning a graph
+    on a different node count than requested.
+    """
     if degree >= n:
         raise ValueError("degree must be below n")
     if (n * degree) % 2 == 1:
-        n += 1
+        raise ValueError(
+            f"no {degree}-regular graph on {n} nodes exists: n * degree must be "
+            "even (use n + 1 or degree + 1 explicitly)"
+        )
     return nx.random_regular_graph(degree, n, seed=seed)
+
+
+def random_geometric_graph(n: int, radius: float = 0.15, seed: int = 0) -> nx.Graph:
+    """Random geometric graph: ``n`` points in the unit square, edges below ``radius``.
+
+    Geometric graphs are the "radio network" workload: degrees are governed by
+    local point density, neighbourhoods are dense (two neighbours of a node
+    are themselves likely close), and there is no global symmetry — a natural
+    stress test for the almost-clique decomposition and for frequency
+    assignment style coloring scenarios.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    if not 0 < radius <= math.sqrt(2):
+        raise ValueError("radius must lie in (0, sqrt(2)]")
+    return nx.random_geometric_graph(n, radius, seed=seed)
 
 
 def degree_range_graph(n: int, low: int, high: int, seed: int = 0) -> nx.Graph:

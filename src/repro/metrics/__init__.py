@@ -12,7 +12,15 @@ from repro.metrics.ledger import (
     rounds_by_phase,
     summarize_ledger,
 )
-from repro.metrics.report import format_table, format_series
+from repro.metrics.report import (
+    aggregate_rows,
+    format_series,
+    format_table,
+    mean,
+    median,
+    percentile,
+    summary_stats,
+)
 
 __all__ = [
     "BandwidthLedger",
@@ -27,4 +35,9 @@ __all__ = [
     "summarize_ledger",
     "format_table",
     "format_series",
+    "aggregate_rows",
+    "mean",
+    "median",
+    "percentile",
+    "summary_stats",
 ]

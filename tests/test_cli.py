@@ -56,3 +56,49 @@ class TestCommands:
         exit_code = main(["triangles", "--n", "80", "--seed", "6"])
         assert exit_code == 0
         assert "triangle" in capsys.readouterr().out
+
+
+class TestSuiteCommands:
+    def test_suite_list_all(self, capsys):
+        assert main(["suite", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("smoke", "coloring", "bandwidth", "detection", "scaling"):
+            assert name in out
+
+    def test_suite_list_one(self, capsys):
+        assert main(["suite", "list", "smoke"]) == 0
+        assert "gnp-d1c" in capsys.readouterr().out
+
+    def test_suite_list_unknown(self):
+        with pytest.raises(ValueError, match="unknown suite"):
+            main(["suite", "list", "nope"])
+
+    def test_suite_run_smoke_and_compare(self, capsys, tmp_path):
+        exit_code = main(["suite", "run", "smoke", "--workers", "1",
+                          "--trials", "1", "--out", str(tmp_path)])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "suite 'smoke'" in out
+        suite_path = tmp_path / "BENCH_suite.json"
+        assert suite_path.exists()
+        assert (tmp_path / "BENCH_suite_trials.jsonl").exists()
+        assert (tmp_path / "BENCH_suite_timing.json").exists()
+        # A snapshot compares clean against itself and gates the exit code.
+        assert main(["suite", "compare", "--baseline", str(suite_path),
+                     "--fresh", str(suite_path)]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_suite_compare_fails_on_drift(self, capsys, tmp_path):
+        import json
+
+        assert main(["suite", "run", "smoke", "--workers", "1", "--trials", "1",
+                     "--out", str(tmp_path)]) == 0
+        baseline = tmp_path / "BENCH_suite.json"
+        drifted = json.loads(baseline.read_text())
+        scenario = next(iter(drifted["scenarios"]))
+        drifted["scenarios"][scenario]["valid_trials"] = 0
+        fresh = tmp_path / "fresh.json"
+        fresh.write_text(json.dumps(drifted))
+        assert main(["suite", "compare", "--baseline", str(baseline),
+                     "--fresh", str(fresh)]) == 1
+        assert "FAIL" in capsys.readouterr().out

@@ -1,0 +1,260 @@
+"""Tests for the experiment orchestration subsystem (repro.experiments)."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.experiments import (
+    Finding,
+    GRAPH_FAMILIES,
+    SOLVERS,
+    ScenarioSpec,
+    aggregate_suite,
+    canonical_dumps,
+    compare_summaries,
+    derive_seed,
+    gate_passes,
+    get_suite,
+    load_suite_summary,
+    load_trial_rows,
+    run_scenarios,
+    run_trial,
+    suite_names,
+    trial_seeds,
+    validate_spec,
+    write_suite_artifacts,
+    write_trial_rows,
+)
+from repro.experiments.artifacts import SCHEMA
+from repro.metrics.report import aggregate_rows, mean, median, percentile, summary_stats
+
+
+TINY_SPECS = [
+    ScenarioSpec("tiny-d1c", "gnp", "d1c", family_params={"n": 30, "p": 0.15}, trials=2),
+    ScenarioSpec("tiny-johansson", "gnp", "johansson",
+                 family_params={"n": 30, "p": 0.15}, trials=2),
+]
+
+
+class TestRegistry:
+    def test_expected_suites_exist(self):
+        assert suite_names() == ["bandwidth", "coloring", "detection", "scaling", "smoke"]
+
+    @pytest.mark.parametrize("name", ["bandwidth", "coloring", "detection", "scaling", "smoke"])
+    def test_every_suite_resolves_and_validates(self, name):
+        specs = get_suite(name)
+        assert specs
+        for spec in specs:
+            validate_spec(spec)  # raises on any registry inconsistency
+            assert spec.family in GRAPH_FAMILIES
+            assert spec.solver in SOLVERS
+
+    def test_scenario_names_unique_per_suite(self):
+        for name in suite_names():
+            names = [spec.name for spec in get_suite(name)]
+            assert len(names) == len(set(names))
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(ValueError, match="unknown suite"):
+            get_suite("nope")
+
+    def test_new_graph_families_registered(self):
+        assert "random_geometric" in GRAPH_FAMILIES
+        assert "ring_of_cliques" in GRAPH_FAMILIES
+        graph, truth = GRAPH_FAMILIES["random_geometric"](seed=3, n=20, radius=0.3)
+        assert graph.number_of_nodes() == 20 and truth is None
+        graph, _ = GRAPH_FAMILIES["ring_of_cliques"](seed=0, num_cliques=3, clique_size=4)
+        assert graph.number_of_nodes() == 12
+
+    def test_validate_spec_rejects_bad_fields(self):
+        good = TINY_SPECS[0]
+        for bad in (
+            dataclasses.replace(good, family="nope"),
+            dataclasses.replace(good, solver="nope"),
+            dataclasses.replace(good, backend="nope"),
+            dataclasses.replace(good, ledger="nope"),
+            dataclasses.replace(good, mode="nope"),
+            dataclasses.replace(good, trials=0),
+        ):
+            with pytest.raises(ValueError):
+                validate_spec(bad)
+
+
+class TestSeedDerivation:
+    def test_derive_seed_is_stable_across_calls(self):
+        assert derive_seed("a", 1, 2) == derive_seed("a", 1, 2)
+        assert derive_seed("a", 1, 2) != derive_seed("a", 1, 3)
+
+    def test_trials_get_distinct_seeds(self):
+        spec = TINY_SPECS[0]
+        seeds = {trial_seeds(spec, t) for t in range(8)}
+        assert len(seeds) == 8
+
+    def test_head_to_head_scenarios_share_graph_and_solver_seeds(self):
+        """Pipeline vs baseline on the same family+params+seed see identical inputs."""
+        d1c, johansson = TINY_SPECS
+        assert trial_seeds(d1c, 0) == trial_seeds(johansson, 0)
+
+    def test_performance_knobs_do_not_change_seeds(self):
+        spec = TINY_SPECS[0]
+        tweaked = dataclasses.replace(spec, backend="dict", ledger="records")
+        assert trial_seeds(spec, 1) == trial_seeds(tweaked, 1)
+
+    def test_family_params_change_graph_seed(self):
+        spec = TINY_SPECS[0]
+        other = dataclasses.replace(spec, family_params={"n": 31, "p": 0.15})
+        assert trial_seeds(spec, 0)[0] != trial_seeds(other, 0)[0]
+
+
+class TestRunner:
+    def test_run_trial_row_schema(self):
+        row = run_trial(TINY_SPECS[0], 0)
+        for key in ("scenario", "trial", "n", "m", "valid", "rounds",
+                    "bits_per_edge", "colors_used", "wall_s"):
+            assert key in row
+        assert row["valid"] is True
+
+    def test_parallel_results_identical_to_serial(self):
+        serial = run_scenarios(TINY_SPECS, workers=1, suite="tiny")
+        parallel = run_scenarios(TINY_SPECS, workers=2, suite="tiny")
+        assert canonical_dumps(aggregate_suite(serial)) == \
+            canonical_dumps(aggregate_suite(parallel))
+        # Trial rows match too, apart from wall-clock.
+        for a, b in zip(serial.rows(), parallel.rows()):
+            a, b = dict(a), dict(b)
+            a.pop("wall_s"), b.pop("wall_s")
+            assert a == b
+
+    def test_backend_does_not_change_aggregates(self):
+        batch = run_scenarios(TINY_SPECS, suite="tiny")
+        dict_specs = [dataclasses.replace(s, backend="dict") for s in TINY_SPECS]
+        dict_backend = run_scenarios(dict_specs, suite="tiny")
+        assert aggregate_suite(batch) == aggregate_suite(dict_backend)
+
+    def test_aggregate_contains_no_timing(self):
+        result = run_scenarios(TINY_SPECS[:1], suite="tiny")
+        text = canonical_dumps(aggregate_suite(result))
+        assert "wall" not in text and "backend" not in text
+
+
+class TestArtifacts:
+    def test_trial_rows_round_trip(self, tmp_path):
+        result = run_scenarios(TINY_SPECS[:1], suite="tiny")
+        path = tmp_path / "trials.jsonl"
+        write_trial_rows(path, result.rows())
+        assert load_trial_rows(path) == [json.loads(json.dumps(r)) for r in result.rows()]
+
+    def test_write_and_load_suite_artifacts(self, tmp_path):
+        result = run_scenarios(TINY_SPECS, suite="tiny")
+        paths = write_suite_artifacts(result, tmp_path)
+        summary = load_suite_summary(paths["suite"])
+        assert summary["schema"] == SCHEMA
+        assert summary["suite"] == "tiny"
+        assert set(summary["scenarios"]) == {"tiny-d1c", "tiny-johansson"}
+        assert summary == aggregate_suite(result)
+        timing = json.loads(paths["timing"].read_text())
+        assert set(timing["scenarios"]) == set(summary["scenarios"])
+
+    def test_load_rejects_unknown_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "other/9", "scenarios": {}}))
+        with pytest.raises(ValueError, match="schema"):
+            load_suite_summary(path)
+
+
+class TestAggregationHelpers:
+    def test_mean_median_percentile(self):
+        values = [4, 1, 3, 2]
+        assert mean(values) == 2.5
+        assert median(values) == 2.5
+        assert median([3, 1, 2]) == 2
+        assert percentile(values, 95) == 4
+        assert percentile(values, 0) == 1
+
+    def test_summary_stats_keys(self):
+        stats = summary_stats([1, 2, 3])
+        assert set(stats) == {"mean", "median", "p95", "min", "max"}
+
+    def test_empty_rejected(self):
+        for fn in (mean, median):
+            with pytest.raises(ValueError):
+                fn([])
+
+    def test_aggregate_rows_skips_bools_and_strings(self):
+        rows = [{"rounds": 3, "valid": True, "name": "x", "wall_s": 0.5},
+                {"rounds": 5, "valid": False, "name": "y", "wall_s": 0.7}]
+        stats = aggregate_rows(rows, exclude=("wall_s",))
+        assert set(stats) == {"rounds"}
+        assert stats["rounds"]["mean"] == 4
+
+
+class TestCompare:
+    def _summary(self):
+        result = run_scenarios(TINY_SPECS, suite="tiny")
+        return aggregate_suite(result)
+
+    def test_identical_summaries_pass(self):
+        summary = self._summary()
+        findings = compare_summaries(summary, summary)
+        assert findings == [] and gate_passes(findings)
+
+    def test_round_regression_fails_gate(self):
+        baseline = self._summary()
+        fresh = json.loads(json.dumps(baseline))
+        metric = fresh["scenarios"]["tiny-d1c"]["metrics"]["rounds"]
+        metric["mean"] = metric["mean"] * 1.5
+        findings = compare_summaries(baseline, fresh, max_regression=0.10)
+        assert not gate_passes(findings)
+        assert any(f.metric == "rounds" and f.severity == "fail" for f in findings)
+
+    def test_small_drift_is_informational(self):
+        baseline = self._summary()
+        fresh = json.loads(json.dumps(baseline))
+        fresh["scenarios"]["tiny-d1c"]["metrics"]["rounds"]["mean"] *= 1.05
+        findings = compare_summaries(baseline, fresh, max_regression=0.10)
+        assert gate_passes(findings)
+        assert any(f.severity == "info" for f in findings)
+
+    def test_validity_drift_fails_gate(self):
+        baseline = self._summary()
+        fresh = json.loads(json.dumps(baseline))
+        fresh["scenarios"]["tiny-d1c"]["valid_trials"] -= 1
+        findings = compare_summaries(baseline, fresh)
+        assert not gate_passes(findings)
+        assert any(f.metric == "valid_trials" for f in findings)
+
+    def test_scenario_set_mismatch_fails_gate(self):
+        baseline = self._summary()
+        fresh = json.loads(json.dumps(baseline))
+        del fresh["scenarios"]["tiny-johansson"]
+        fresh["scenarios"]["brand-new"] = baseline["scenarios"]["tiny-d1c"]
+        findings = compare_summaries(baseline, fresh)
+        assert not gate_passes(findings)
+        kinds = {(f.scenario, f.severity) for f in findings}
+        assert ("tiny-johansson", "fail") in kinds
+        assert ("brand-new", "fail") in kinds
+
+    def test_metric_set_mismatch_fails_gate(self):
+        baseline = self._summary()
+        fresh = json.loads(json.dumps(baseline))
+        del fresh["scenarios"]["tiny-d1c"]["metrics"]["total_bits"]
+        findings = compare_summaries(baseline, fresh)
+        assert not gate_passes(findings)
+        assert any(f.metric == "total_bits" and "missing" in f.detail for f in findings)
+
+    def test_non_mean_stat_drift_is_surfaced(self):
+        baseline = self._summary()
+        fresh = json.loads(json.dumps(baseline))
+        fresh["scenarios"]["tiny-d1c"]["metrics"]["rounds"]["max"] += 1
+        findings = compare_summaries(baseline, fresh)
+        assert gate_passes(findings)  # the gate keys off the mean ...
+        assert any(f.metric == "rounds" and "max" in f.detail for f in findings)
+
+    def test_suite_mismatch_fails_gate(self):
+        baseline = self._summary()
+        fresh = json.loads(json.dumps(baseline))
+        fresh["suite"] = "other"
+        findings = compare_summaries(baseline, fresh)
+        assert findings == [Finding("fail", "-", "suite",
+                                    "suite mismatch: baseline='tiny' fresh='other'")]

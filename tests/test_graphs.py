@@ -19,6 +19,7 @@ from repro.graphs import (
     numeric_degree_lists,
     planted_almost_cliques,
     power_law_graph,
+    random_geometric_graph,
     random_regular_graph,
     ring_of_cliques,
     shared_pool_lists,
@@ -53,6 +54,29 @@ class TestGenerators:
     def test_random_regular(self):
         g = random_regular_graph(20, 4, seed=3)
         assert all(d == 4 for _, d in g.degree())
+
+    def test_random_regular_odd_product_rejected(self):
+        # Regression: n * degree odd used to silently return an (n+1)-node
+        # graph instead of failing on the impossible parameter combination.
+        with pytest.raises(ValueError, match="must be even"):
+            random_regular_graph(21, 3, seed=3)
+        with pytest.raises(ValueError, match="degree must be below n"):
+            random_regular_graph(4, 5)
+
+    def test_random_geometric_deterministic(self):
+        a = random_geometric_graph(40, radius=0.25, seed=5)
+        b = random_geometric_graph(40, radius=0.25, seed=5)
+        assert a.number_of_nodes() == 40
+        assert set(a.edges()) == set(b.edges())
+        assert set(a.edges()) != set(random_geometric_graph(40, radius=0.25, seed=6).edges())
+
+    def test_random_geometric_validation(self):
+        with pytest.raises(ValueError):
+            random_geometric_graph(0, 0.2)
+        with pytest.raises(ValueError):
+            random_geometric_graph(10, 0.0)
+        with pytest.raises(ValueError):
+            random_geometric_graph(10, 2.0)
 
     def test_degree_range_graph_bounds(self):
         g = degree_range_graph(60, 4, 10, seed=4)
