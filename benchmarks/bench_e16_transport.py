@@ -1,6 +1,6 @@
-"""E16 — Transport engine: DictTransport vs BatchTransport wall-clock.
+"""E16 — Transport engine: Dict vs Batch vs Slot transport wall-clock.
 
-The two backends charge byte-identical ledgers (enforced by the equivalence
+All backends charge byte-identical ledgers (enforced by the equivalence
 suite in ``tests/test_transport_equivalence.py``); this benchmark measures
 what the batching buys in wall-clock on the largest seed workload
 (the n=240 D1LC instance of E9) plus a raw exchange/broadcast microbench.
@@ -25,7 +25,7 @@ from repro.graphs import gnp_graph
 
 N = 240
 AVG_DEGREE = 10
-BACKENDS = ("dict", "batch")
+BACKENDS = ("dict", "batch", "slot")
 
 #: ``coloring_sha`` fingerprints the exact node->color assignment, so the
 #: cross-backend check is as strong as the old ``a.coloring == b.coloring``.
@@ -42,13 +42,16 @@ def _pipeline_row():
         trial = result.rows_for(spec.name)[0]
         timings[backend] = trial["wall_s"]
         trials[backend] = trial
-    a, b = trials["dict"], trials["batch"]
-    assert all(a[key] == b[key] for key in METRIC_KEYS)
+    a = trials["dict"]
+    for backend in BACKENDS[1:]:
+        b = trials[backend]
+        assert all(a[key] == b[key] for key in METRIC_KEYS), backend
     return {
         "workload": f"D1LC gnp n={a['n']}",
         "dict s": round(timings["dict"], 3),
         "batch s": round(timings["batch"], 3),
-        "speedup": round(timings["dict"] / max(timings["batch"], 1e-9), 2),
+        "slot s": round(timings["slot"], 3),
+        "speedup": round(timings["dict"] / max(timings["slot"], 1e-9), 2),
         "ledgers equal": True,
         "rounds": a["rounds"],
     }
@@ -74,12 +77,13 @@ def _microbench_row(rounds: int = 60):
         timings[backend] = time.perf_counter() - start
         ledgers[backend] = (network.ledger.rounds, network.ledger.total_bits,
                             network.ledger.max_edge_bits)
-    assert ledgers["dict"] == ledgers["batch"]
+    assert all(ledgers[b] == ledgers["dict"] for b in BACKENDS[1:])
     return {
         "workload": f"raw bcast+exch n={N} x{rounds}",
         "dict s": round(timings["dict"], 3),
         "batch s": round(timings["batch"], 3),
-        "speedup": round(timings["dict"] / max(timings["batch"], 1e-9), 2),
+        "slot s": round(timings["slot"], 3),
+        "speedup": round(timings["dict"] / max(timings["slot"], 1e-9), 2),
         "ledgers equal": True,
         "rounds": ledgers["dict"][0],
     }
@@ -92,7 +96,8 @@ def measure():
 def test_e16_transport_backends(benchmark):
     rows = run_once(benchmark, measure)
     emit(benchmark, "E16 — transport backends: identical ledgers, wall-clock "
-                    "dict vs batch", rows)
-    # The batch backend must never lose badly on the raw primitive path.
+                    "dict vs batch vs slot", rows)
+    # The fast backends must never lose badly on the raw primitive path.
     micro = rows[1]
     assert micro["batch s"] <= micro["dict s"] * 1.5
+    assert micro["slot s"] <= micro["dict s"] * 1.5

@@ -10,7 +10,10 @@ be run without writing Python::
     python -m repro.cli baseline   --n 200 --p 0.08
     python -m repro.cli suite list
     python -m repro.cli suite run smoke --workers 4
+    python -m repro.cli suite run scale --backend slot
+    python -m repro.cli suite run smoke --profile --out /tmp/prof
     python -m repro.cli suite compare --baseline BENCH_suite.json
+    python -m repro.cli suite compare --baseline BENCH_suite.json --timing-budget 50
 
 Each subcommand prints a plain-text table of the measurements the paper's
 statements are about (rounds, bandwidth, validity, detection quality).  The
@@ -164,7 +167,8 @@ def cmd_suite_list(args: argparse.Namespace) -> int:
 
 def cmd_suite_run(args: argparse.Namespace) -> int:
     from repro.experiments import (
-        aggregate_suite, run_suite, timing_summary, write_suite_artifacts,
+        aggregate_suite, profile_filename, run_suite, timing_summary,
+        write_suite_artifacts,
     )
 
     def progress(row):
@@ -172,20 +176,38 @@ def cmd_suite_run(args: argparse.Namespace) -> int:
         print(f"  {row['scenario']} trial {row['trial']}: {status} "
               f"({row['wall_s']}s)")
 
+    out_dir = Path(args.out)
+    profile_dir = out_dir if args.profile else None
+    if args.profile and args.workers > 1:
+        print("profiling forces serial execution; ignoring --workers")
     result = run_suite(
         args.suite, workers=args.workers, backend=args.backend,
         trials=args.trials, progress=progress if args.verbose else None,
+        only=args.only, profile_dir=profile_dir,
     )
     summary = aggregate_suite(result)
     timing = timing_summary(result)
-    paths = write_suite_artifacts(result, Path(args.out), summary=summary)
+    # A profiled run's wall-clock is inflated by cProfile overhead: never
+    # let it refresh the timing artifact the --timing-budget gate reads.
+    paths = write_suite_artifacts(result, out_dir, summary=summary,
+                                  timing=not args.profile)
     print(format_table(
         _suite_summary_rows(summary, timing),
         title=f"suite '{args.suite}': {len(result.scenarios)} scenarios, "
               f"{len(result.rows())} trials, {result.wall_s}s "
               f"(workers={args.workers})",
     ))
-    print(f"\nwrote {paths['suite']}, {paths['trials']}, {paths['timing']}")
+    written = ", ".join(str(paths[kind]) for kind in ("suite", "trials", "timing")
+                        if kind in paths)
+    print(f"\nwrote {written}")
+    if args.profile:
+        print("profiled run: timing artifact not refreshed "
+              "(wall-clock includes profiler overhead)")
+    if args.profile:
+        profiles = ", ".join(
+            profile_filename(s.spec.name) for s in result.scenarios
+        )
+        print(f"profiles: {profiles}")
     invalid = [s.spec.name for s in result.scenarios if s.valid_trials < len(s.rows)]
     if invalid:
         print(f"INVALID scenarios: {', '.join(invalid)}")
@@ -195,20 +217,44 @@ def cmd_suite_run(args: argparse.Namespace) -> int:
 
 def cmd_suite_compare(args: argparse.Namespace) -> int:
     from repro.experiments import (
-        aggregate_suite, compare_summaries, gate_passes, load_suite_summary,
-        run_suite,
+        TIMING_FILENAME, aggregate_suite, compare_summaries, compare_timing,
+        gate_passes, load_suite_summary, load_suite_timing, run_suite,
+        timing_summary,
     )
 
     baseline = load_suite_summary(Path(args.baseline))
+    fresh_timing = None
     if args.fresh:
         fresh = load_suite_summary(Path(args.fresh))
+        if args.timing_budget is not None:
+            # A pre-produced aggregate keeps its timing in the sibling file.
+            sibling = Path(args.fresh).parent / TIMING_FILENAME
+            if sibling.exists():
+                fresh_timing = load_suite_timing(sibling, suite=fresh.get("suite"))
+            else:
+                print(f"no fresh timing found at {sibling}; skipping timing check")
     else:
         suite = args.suite or baseline.get("suite")
         print(f"running suite '{suite}' fresh (workers={args.workers}) ...")
-        fresh = aggregate_suite(run_suite(suite, workers=args.workers,
-                                          backend=args.backend))
+        result = run_suite(suite, workers=args.workers, backend=args.backend)
+        fresh = aggregate_suite(result)
+        fresh_timing = timing_summary(result)
     findings = compare_summaries(baseline, fresh,
                                  max_regression=args.max_regression / 100.0)
+    if args.timing_budget is not None and fresh_timing is not None:
+        # The timing check is soft by design: a missing/stale baseline file
+        # (or one without this suite's entry) skips it with a note instead
+        # of discarding the correctness result that was just computed.
+        try:
+            timing_baseline = load_suite_timing(Path(args.timing_baseline),
+                                                suite=fresh.get("suite"))
+        except (OSError, ValueError) as exc:
+            print(f"timing check skipped: {exc}")
+        else:
+            findings.extend(compare_timing(
+                timing_baseline, fresh_timing,
+                budget=args.timing_budget / 100.0, strict=args.strict_timing,
+            ))
     if findings:
         print(format_table(
             [f.as_row() for f in findings],
@@ -231,9 +277,10 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_backend_option(p: argparse.ArgumentParser) -> None:
-        p.add_argument("--backend", choices=["batch", "dict"], default="batch",
+        p.add_argument("--backend", choices=["batch", "dict", "slot"], default="batch",
                        help="transport backend (identical accounting; 'dict' is "
-                            "the per-message reference implementation)")
+                            "the per-message reference implementation, 'slot' the "
+                            "CSR-routed large-n fast path)")
 
     color = sub.add_parser("color", help="run the D1LC/D1C/(Δ+1) coloring pipeline")
     color.add_argument("--n", type=int, default=200)
@@ -286,7 +333,7 @@ def build_parser() -> argparse.ArgumentParser:
     def add_suite_run_options(p: argparse.ArgumentParser) -> None:
         p.add_argument("--workers", type=int, default=1,
                        help="worker processes (results are identical for any count)")
-        p.add_argument("--backend", choices=["batch", "dict"], default=None,
+        p.add_argument("--backend", choices=["batch", "dict", "slot"], default=None,
                        help="override every scenario's transport backend")
 
     s_run = suite_sub.add_parser("run", help="run a suite and write artifacts")
@@ -294,8 +341,17 @@ def build_parser() -> argparse.ArgumentParser:
     add_suite_run_options(s_run)
     s_run.add_argument("--trials", type=int, default=None,
                        help="override every scenario's trial count")
+    s_run.add_argument("--only", action="append", default=None, metavar="SCENARIO",
+                       help="run only the named scenario (repeatable); the "
+                            "resulting aggregate covers a subset and will not "
+                            "gate cleanly against a full-suite baseline")
     s_run.add_argument("--out", default=".",
                        help="directory for BENCH_suite*.json artifacts")
+    s_run.add_argument("--profile", action="store_true",
+                       help="wrap each scenario in cProfile and write its top-25 "
+                            "cumulative hotspots to PROFILE_<scenario>.txt next "
+                            "to the artifacts (forces serial execution; wall-clock "
+                            "fields include profiler overhead)")
     s_run.add_argument("--verbose", action="store_true",
                        help="print each trial as it completes")
     s_run.set_defaults(func=cmd_suite_run)
@@ -311,6 +367,16 @@ def build_parser() -> argparse.ArgumentParser:
                            help="already-produced fresh snapshot (skips the run)")
     s_compare.add_argument("--max-regression", type=float, default=10.0,
                            help="allowed mean regression in percent (default 10)")
+    s_compare.add_argument("--timing-budget", type=float, default=None, metavar="PCT",
+                           help="opt-in soft wall-clock check: warn when a scenario "
+                                "is more than PCT%% slower than the committed "
+                                "timing baseline (timing never fails the gate "
+                                "unless --strict-timing is given)")
+    s_compare.add_argument("--strict-timing", action="store_true",
+                           help="escalate timing-budget violations from warnings "
+                                "to gate failures")
+    s_compare.add_argument("--timing-baseline", default="BENCH_suite_timing.json",
+                           help="committed timing snapshot for --timing-budget")
     add_suite_run_options(s_compare)
     s_compare.set_defaults(func=cmd_suite_compare)
     return parser

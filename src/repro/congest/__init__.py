@@ -28,6 +28,7 @@ from repro.congest.topology import Topology
 from repro.congest.transport import (
     BatchTransport,
     DictTransport,
+    SlotTransport,
     TRANSPORT_BACKENDS,
     Transport,
     make_transport,
@@ -47,6 +48,7 @@ __all__ = [
     "Transport",
     "DictTransport",
     "BatchTransport",
+    "SlotTransport",
     "TRANSPORT_BACKENDS",
     "make_transport",
     "DEFAULT_BACKEND",

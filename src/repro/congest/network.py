@@ -7,7 +7,8 @@ communication engine (see DESIGN.md):
   (cached node list, neighbor sets, degrees, contiguous node index);
 * :class:`~repro.congest.transport.Transport` — the delivery mechanics,
   selected via ``backend=`` (``"batch"`` by default, ``"dict"`` for the
-  per-message reference semantics);
+  per-message reference semantics, ``"slot"`` for the CSR-routed large-n
+  fast path);
 * :class:`~repro.metrics.ledger.Ledger` — the bandwidth accounting, selected
   via ``ledger=`` (``"records"`` keeps the full round history, ``"counters"``
   keeps aggregates only for big runs).
@@ -67,9 +68,10 @@ class Network:
         uses ``O(log n)`` bits) while leaving room for the constant factors
         that the paper hides in Θ-notation.
     backend:
-        Transport backend: ``"batch"`` (default) or ``"dict"``.  Both charge
-        identical ledgers; ``"dict"`` keeps the original message-at-a-time
-        reference implementation.
+        Transport backend: ``"batch"`` (default), ``"dict"``, or ``"slot"``.
+        All charge identical ledgers; ``"dict"`` keeps the original
+        message-at-a-time reference implementation and ``"slot"`` is the
+        CSR-routed large-n fast path.
     ledger:
         Ledger kind (``"records"`` / ``"counters"``) or a
         :class:`~repro.metrics.ledger.Ledger` instance to share.

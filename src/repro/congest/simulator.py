@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, Optional
+from typing import Any, Dict, Hashable, List, Optional
 
 from repro.congest.network import Network
 from repro.congest.node import NodeState
@@ -50,29 +50,62 @@ class Simulator:
     program drawing in ``step`` saw the same sequence each round — almost
     certainly never what an algorithm wants, but note the change if
     comparing randomized node-program outputs across versions.)
+
+    Large-n fast path (see DESIGN.md "fast-path invariants"): per-node
+    bookkeeping — states, contexts, pending inboxes, the active set — is
+    stored in lists indexed by the topology's contiguous node index, and the
+    active set is maintained *incrementally*: a node leaves it when it halts
+    and is never rescanned.  ``NodeState.halt`` is therefore final — a
+    program must not clear ``state.halted`` by hand to resurrect a node (no
+    in-repo program ever did; the previous implementation rescanned all n
+    nodes every round, which happened to tolerate it).
+
+    Inbox and outbox dicts are pooled across rounds: each slot owns one inbox
+    dict that is cleared and refilled between rounds, and one outgoing-message
+    dict is reused for every ``exchange`` call.  The per-round contract is
+    unchanged — ``step`` always receives a **private mutable dict** (shared
+    with no other node) holding exactly the messages delivered last round —
+    but the dict is only guaranteed to hold those messages *for the duration
+    of the call*: a program that wants to keep an inbox across rounds must
+    copy it.
     """
 
     def __init__(self, network: Network, program: NodeProgram, seed: int = 0):
         self.network = network
         self.program = program
         self.rng_stream = RngStream(seed)
+        topology = network.topology
+        nodes = topology.nodes
+        self._nodes = nodes
+        self._slot_of = topology.node_index
+        self._state_list: List[NodeState] = [NodeState(node=v) for v in nodes]
         self.states: Dict[Node, NodeState] = {
-            v: NodeState(node=v) for v in network.nodes
+            v: self._state_list[i] for i, v in enumerate(nodes)
         }
         self._round_index = 0
-        self._pending_inboxes: Dict[Node, Dict[Node, Any]] = {}
-        self._contexts: Dict[Node, ProgramContext] = {
-            v: ProgramContext(
+        self._context_list: List[ProgramContext] = [
+            ProgramContext(
                 network=network,
                 node=v,
-                state=self.states[v],
+                state=self._state_list[i],
                 rng=self.rng_stream.for_node(v),
                 round_index=0,
             )
-            for v in network.nodes
+            for i, v in enumerate(nodes)
+        ]
+        self._contexts: Dict[Node, ProgramContext] = {
+            v: self._context_list[i] for i, v in enumerate(nodes)
         }
-        for v in network.nodes:
-            self.program.init(self._contexts[v])
+        # One pooled inbox dict per slot, cleared and refilled across rounds.
+        self._inbox_list: List[Dict[Node, Any]] = [{} for _ in nodes]
+        self._outgoing: Dict[tuple, Any] = {}
+        for ctx in self._context_list:
+            self.program.init(ctx)
+        # Incremental active set: slots leave on halt (a program may already
+        # halt in init), and are never rescanned.
+        self._active: List[int] = [
+            i for i, state in enumerate(self._state_list) if not state.halted
+        ]
 
     def _context(self, node: Node) -> ProgramContext:
         ctx = self._contexts[node]
@@ -81,54 +114,60 @@ class Simulator:
 
     def step(self, label: Optional[str] = None) -> bool:
         """Execute one synchronous round.  Returns True if any node is active."""
-        states = self.states
-        active = [v for v in self.network.nodes if not states[v].halted]
+        active = self._active
         if not active:
             return False
-        contexts = self._contexts
-        pending = self._pending_inboxes
+        nodes = self._nodes
+        context_list = self._context_list
+        inbox_list = self._inbox_list
+        state_list = self._state_list
+        program_step = self.program.step
         round_index = self._round_index
-        outgoing: Dict[tuple, Any] = {}
-        for v in active:
-            ctx = contexts[v]
+        outgoing = self._outgoing
+        outgoing.clear()
+        for i in active:
+            ctx = context_list[i]
             ctx.round_index = round_index
             # Programs always get a private mutable dict (the historical
-            # contract); empty ones are only allocated for active nodes.
-            sends = self.program.step(ctx, pending.get(v) or {})
+            # contract); the pooled per-slot dict holds this round's mail.
+            sends = program_step(ctx, inbox_list[i])
             if not sends:
                 continue
+            v = nodes[i]
             for receiver, payload in sends.items():
                 outgoing[(v, receiver)] = payload
         delivered = self.network.exchange(
             outgoing, label=label or type(self.program).__name__
         )
-        # Inboxes are allocated only for nodes that actually received mail;
-        # everyone else reads the shared empty inbox above.
-        next_inboxes: Dict[Node, Dict[Node, Any]] = {}
+        # Drop freshly-halted slots from the active set (no O(n) rescan), and
+        # recycle every pooled inbox that was readable this round.
+        self._active = [i for i in active if not state_list[i].halted]
+        for i in active:
+            box = inbox_list[i]
+            if box:
+                box.clear()
+        # Refill from this round's deliveries.  Mail for an already-halted
+        # receiver is dropped: it could never be read (the node will not step
+        # again), and leaving it would accrete stale entries in a pooled box.
+        slot_of = self._slot_of
         for (sender, receiver), payload in delivered.items():
-            box = next_inboxes.get(receiver)
-            if box is None:
-                box = {}
-                next_inboxes[receiver] = box
-            box[sender] = payload
-        self._pending_inboxes = next_inboxes
+            i = slot_of[receiver]
+            if not state_list[i].halted:
+                inbox_list[i][sender] = payload
         self._round_index += 1
-        return any(not states[v].halted for v in self.network.nodes)
+        return bool(self._active)
 
     def run(self, max_rounds: int = 10_000, label: Optional[str] = None) -> SimulationResult:
         """Run until every node halts or ``max_rounds`` rounds have elapsed."""
-        halted = True
         for _ in range(max_rounds):
             if not self.step(label=label):
                 break
-        else:
-            halted = all(self.states[v].halted for v in self.network.nodes)
         outputs = {
-            v: self.program.finish(self._context(v)) for v in self.network.nodes
+            v: self.program.finish(self._context(v)) for v in self._nodes
         }
         return SimulationResult(
             rounds=self._round_index,
             outputs=outputs,
             states=dict(self.states),
-            halted=halted,
+            halted=not self._active,
         )

@@ -120,6 +120,16 @@ class Topology:
                     yield (u, nodes[j])
 
     # ----------------------------------------------------------- index helpers
+    @property
+    def node_index(self) -> Dict[Node, int]:
+        """The contiguous node->index map (treat as read-only).
+
+        Exposed so slot-indexed consumers (the simulator, the slot transport)
+        can share the one map built at construction instead of each paying an
+        O(n) rebuild per run.
+        """
+        return self._index
+
     def index_of(self, v: Node) -> int:
         """Contiguous index of ``v`` in ``[0, n)`` (stable for this topology)."""
         try:

@@ -12,6 +12,13 @@ and reporting the round to the ledger — on top of an immutable
   per-round memo for repeated payload objects, defers the bandwidth check to
   a single audit after sizing, and computes chunked-stream accounting
   arithmetically instead of simulating every chunk round edge by edge.
+* :class:`SlotTransport` (``backend="slot"``) is the large-n fast path: it
+  routes broadcasts over the topology's CSR adjacency arrays (building the
+  per-receiver inboxes directly, without materialising a ``(sender,
+  receiver) -> payload`` dict of tuple keys first) and keeps one pooled
+  payload-sizing cache across rounds, keyed by payload identity and
+  invalidated at the start of every round (``id()`` keys are only stable
+  while the round's message mapping keeps the payloads alive).
 
 Broadcast inboxes from **both** backends are read-only views: silent nodes
 share one immutable empty mapping instead of each allocating a dict every
@@ -275,6 +282,15 @@ class BatchTransport(Transport):
 
     name = "batch"
 
+    def _round_memo(self) -> Dict[int, int]:
+        """The payload-sizing memo for one round (a fresh dict per round).
+
+        :class:`SlotTransport` overrides this with a dict pooled across
+        rounds; everything else about sizing, auditing and recording is
+        shared, so a fix to the delivery path applies to both backends.
+        """
+        return {}
+
     def _bad_edge(self, sender: Node, receiver: Node) -> None:
         """Raise the same ProtocolError the reference backend would."""
         if sender == receiver:
@@ -292,7 +308,7 @@ class BatchTransport(Transport):
         max_edge_bits = 0
         worst_edge: Optional[DirectedEdge] = None
         delivered: Dict[DirectedEdge, Any] = {}
-        size_memo: Dict[int, int] = {}
+        size_memo = self._round_memo()
         for edge, payload in messages.items():
             if validate:
                 sender, receiver = edge
@@ -345,16 +361,110 @@ class BatchTransport(Transport):
         return self._inboxes(delivered)
 
     def _sizes(self, messages: Mapping[DirectedEdge, Any]) -> Dict[DirectedEdge, int]:
-        size_memo: Dict[int, int] = {}
+        size_memo = self._round_memo()
         return {
             edge: _memoized_bits(payload, size_memo)
             for edge, payload in messages.items()
         }
 
 
+class SlotTransport(BatchTransport):
+    """Large-n fast path: CSR-routed broadcast plus a pooled sizing cache.
+
+    Delivery and accounting are observably identical to the other backends
+    (the equivalence suite runs all three): same delivered payloads, same
+    inbox ordering (sender-major — each sender's recipients are appended
+    before the next sender's), same ledger rounds/counts/bits/maxima.  Two
+    mechanical differences:
+
+    * ``broadcast`` walks each sender's CSR neighbor slice and writes
+      straight into the per-receiver inboxes, so a broadcast round allocates
+      ``O(receivers)`` dicts instead of an ``O(messages)`` tuple-keyed dict
+      *plus* the inboxes;
+    * payload sizing uses one dict pooled across rounds (cleared per round —
+      the "generation" of an ``id()`` key is the round that computed it, and
+      a payload object is only guaranteed alive while its round's message
+      mapping holds it, so entries never survive into the next round).
+
+    On violating rounds the reported edge may differ from ``dict``/``batch``
+    (a broadcast's worst edge is found in CSR order rather than neighbor-set
+    iteration order); as with ``batch``, the round is rejected before it is
+    recorded.
+    """
+
+    name = "slot"
+
+    def __init__(self, topology: Topology, mode: str, bandwidth_bits: int,
+                 ledger: Ledger):
+        super().__init__(topology, mode, bandwidth_bits, ledger)
+        self._size_memo: Dict[int, int] = {}
+
+    def _round_memo(self) -> Dict[int, int]:
+        """The pooled sizing cache, invalidated (cleared) for a new round."""
+        memo = self._size_memo
+        memo.clear()
+        return memo
+
+    def broadcast(
+        self,
+        values: Mapping[Node, Any],
+        label: str = "broadcast",
+        senders_only_to: Optional[Mapping[Node, Iterable[Node]]] = None,
+    ) -> Dict[Node, Mapping[Node, Any]]:
+        topology = self.topology
+        if senders_only_to is not None:
+            # Restricted recipients are rare and per-sender small; the batch
+            # path (validated per recipient) already handles them well.
+            return super().broadcast(
+                values, label=label, senders_only_to=senders_only_to
+            )
+        nodes = topology.nodes
+        indptr = topology.indptr
+        indices = topology.indices
+        index_of = topology.node_index
+        inbox: Dict[Node, Mapping[Node, Any]] = dict.fromkeys(nodes, EMPTY_INBOX)
+        size_memo = self._round_memo()
+        message_count = 0
+        total_bits = 0
+        max_edge_bits = 0
+        worst_edge: Optional[DirectedEdge] = None
+        for sender, payload in values.items():
+            i = index_of.get(sender)
+            if i is None:
+                topology.neighbors(sender)  # raises the canonical ProtocolError
+            row = indices[indptr[i]:indptr[i + 1]]
+            if not row:
+                continue  # an isolated sender contributes no messages
+            bits = _memoized_bits(payload, size_memo)
+            content = payload.content if isinstance(payload, Message) else payload
+            message_count += len(row)
+            total_bits += bits * len(row)
+            if bits > max_edge_bits:
+                max_edge_bits = bits
+                worst_edge = (sender, nodes[row[0]])
+            for j in row:
+                receiver = nodes[j]
+                box = inbox[receiver]
+                if box is EMPTY_INBOX:
+                    box = {}
+                    inbox[receiver] = box
+                box[sender] = content
+        if (
+            self.mode == "congest"
+            and max_edge_bits > self.bandwidth_bits
+            and worst_edge is not None
+        ):
+            raise BandwidthExceeded(
+                worst_edge, max_edge_bits, self.bandwidth_bits, label
+            )
+        self.ledger.record_round(label, message_count, total_bits, max_edge_bits)
+        return inbox
+
+
 _TRANSPORT_KINDS = {
     "dict": DictTransport,
     "batch": BatchTransport,
+    "slot": SlotTransport,
 }
 
 #: Backends selectable via ``Network(backend=...)``.
@@ -363,7 +473,7 @@ TRANSPORT_BACKENDS: Tuple[str, ...] = tuple(sorted(_TRANSPORT_KINDS))
 
 def make_transport(backend, topology: Topology, mode: str, bandwidth_bits: int,
                    ledger: Ledger) -> Transport:
-    """Build a transport from a backend name (``"dict"`` / ``"batch"``)."""
+    """Build a transport from a backend name (``"dict"`` / ``"batch"`` / ``"slot"``)."""
     if isinstance(backend, Transport):
         return backend
     try:

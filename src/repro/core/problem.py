@@ -72,6 +72,12 @@ class ColoringInstance:
     palettes: Dict[Node, FrozenSet[Color]]
     color_space: ColorSpace
     name: str = "d1lc"
+    #: Lazy cache of the graph's max degree.  The graph is immutable for the
+    #: lifetime of an instance (the same invariant Topology relies on), and
+    #: ``max_degree`` sits on per-round hot paths (MultiTrial recomputed a
+    #: full networkx degree sweep per call — 80% of a large-n run).
+    _max_degree: Optional[int] = field(default=None, init=False, repr=False,
+                                       compare=False)
 
     def __post_init__(self):
         missing = [v for v in self.graph.nodes() if v not in self.palettes]
@@ -139,7 +145,11 @@ class ColoringInstance:
         return self.graph.degree(v)
 
     def max_degree(self) -> int:
-        return max((d for _, d in self.graph.degree()), default=0)
+        delta = self._max_degree
+        if delta is None:
+            delta = max((d for _, d in self.graph.degree()), default=0)
+            self._max_degree = delta
+        return delta
 
     def palette(self, v: Node) -> FrozenSet[Color]:
         return self.palettes[v]

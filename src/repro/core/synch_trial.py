@@ -58,9 +58,21 @@ def synch_color_trial(
             assignments[v] = color
             any_assignment = True
     if any_assignment:
+        # One membership map for the whole trial: the old per-recipient
+        # ``_clique_of`` scan rebuilt every clique's member set per lookup —
+        # O(cliques) set unions per assignment, the dominant cost of dense
+        # phases on graphs with many small cliques.  First-match order is
+        # preserved (cliques partition the nodes, so it never matters).
+        clique_of: Dict[Node, int] = {}
+        for cid, info in leaders.items():
+            for member in info.members:
+                if member not in clique_of:
+                    clique_of[member] = cid
         messages = {}
         for v, color in assignments.items():
-            leader = leaders[_clique_of(leaders, v)].leader
+            if v not in clique_of:
+                raise KeyError(f"node {v!r} belongs to no almost-clique")
+            leader = leaders[clique_of[v]].leader
             messages[(leader, v)] = state.hasher.encode_for(v, color, label=f"{label}:deal")
         network.exchange(messages, label=f"{label}:deal")
     else:
@@ -81,6 +93,11 @@ def synch_color_trial(
 
 
 def _clique_of(leaders: Mapping[int, LeaderInfo], node: Node) -> int:
+    """Linear membership scan; kept for ad-hoc callers and tests.
+
+    The trial itself uses a prebuilt node->clique map (same first-match
+    semantics) instead of paying this scan per recipient.
+    """
     for cid, info in leaders.items():
         if node in info.members:
             return cid

@@ -5,7 +5,8 @@ The subsystem the benchmarks and the ``repro suite`` CLI are built on:
 * :mod:`repro.experiments.spec` — :class:`ScenarioSpec` and deterministic
   per-trial seed derivation;
 * :mod:`repro.experiments.registry` — graph families, solvers, and the named
-  suites (``smoke``, ``coloring``, ``bandwidth``, ``detection``, ``scaling``);
+  suites (``smoke``, ``coloring``, ``bandwidth``, ``detection``, ``scaling``,
+  ``scale``);
 * :mod:`repro.experiments.runner` — serial / process-parallel trial execution
   with results independent of worker count;
 * :mod:`repro.experiments.artifacts` — JSONL trial store plus the
@@ -21,12 +22,19 @@ from repro.experiments.artifacts import (
     aggregate_suite,
     canonical_dumps,
     load_suite_summary,
+    load_suite_timing,
     load_trial_rows,
+    merge_timing,
     timing_summary,
     write_suite_artifacts,
     write_trial_rows,
 )
-from repro.experiments.compare import Finding, compare_summaries, gate_passes
+from repro.experiments.compare import (
+    Finding,
+    compare_summaries,
+    compare_timing,
+    gate_passes,
+)
 from repro.experiments.registry import (
     GRAPH_FAMILIES,
     SOLVERS,
@@ -37,6 +45,7 @@ from repro.experiments.registry import (
 from repro.experiments.runner import (
     ScenarioResult,
     SuiteResult,
+    profile_filename,
     run_scenarios,
     run_suite,
     run_trial,
@@ -56,11 +65,15 @@ __all__ = [
     "aggregate_suite",
     "canonical_dumps",
     "compare_summaries",
+    "compare_timing",
     "derive_seed",
     "gate_passes",
     "get_suite",
     "load_suite_summary",
+    "load_suite_timing",
     "load_trial_rows",
+    "merge_timing",
+    "profile_filename",
     "run_scenarios",
     "run_suite",
     "run_trial",

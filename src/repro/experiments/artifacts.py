@@ -12,7 +12,12 @@ A suite run produces three files in the output directory:
   produce byte-identical files.  This is the file that gets committed as the
   regression baseline and diffed by ``repro suite compare``.
 * ``BENCH_suite_timing.json`` — wall-clock per scenario and total.  Kept
-  separate precisely so the aggregate stays byte-stable.
+  separate precisely so the aggregate stays byte-stable.  The timing file is
+  **multi-suite**: each run merges its own suite's entry into whatever the
+  file already holds (``{"schema": ..., "suites": {name: {total_wall_s,
+  scenarios}}}``), so one committed artifact can carry the wall-clock
+  baselines of ``smoke``, ``scaling`` and ``scale`` at once — that is the
+  file the opt-in ``--timing-budget`` soft gate diffs against.
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ from repro.experiments.runner import NON_METRIC_KEYS, SuiteResult
 from repro.metrics.report import aggregate_rows
 
 SCHEMA = "repro-suite/1"
+TIMING_SCHEMA = "repro-suite-timing/1"
 TRIALS_FILENAME = "BENCH_suite_trials.jsonl"
 SUITE_FILENAME = "BENCH_suite.json"
 TIMING_FILENAME = "BENCH_suite_timing.json"
@@ -55,6 +61,7 @@ def aggregate_suite(result: SuiteResult) -> Dict[str, object]:
 
 
 def timing_summary(result: SuiteResult) -> Dict[str, object]:
+    """One run's wall-clock entry (merged into the multi-suite timing file)."""
     return {
         "suite": result.suite,
         "total_wall_s": result.wall_s,
@@ -64,27 +71,77 @@ def timing_summary(result: SuiteResult) -> Dict[str, object]:
     }
 
 
+def merge_timing(path: Path, summary: Mapping[str, object]) -> Dict[str, object]:
+    """Merge one run's :func:`timing_summary` into the timing artifact.
+
+    Entries of *other* suites already in the file are preserved; the entry of
+    the run's own suite is replaced wholesale.  A missing, malformed, or
+    legacy-schema file is simply overwritten — timing is a soft,
+    machine-dependent artifact, never a correctness record.
+    """
+    path = Path(path)
+    data: Dict[str, object] = {"schema": TIMING_SCHEMA, "suites": {}}
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text())
+        except ValueError:
+            existing = None
+        if (
+            isinstance(existing, dict)
+            and existing.get("schema") == TIMING_SCHEMA
+            and isinstance(existing.get("suites"), dict)
+        ):
+            data["suites"].update(existing["suites"])
+    data["suites"][str(summary["suite"])] = {
+        "total_wall_s": summary["total_wall_s"],
+        "scenarios": dict(summary["scenarios"]),
+    }
+    path.write_text(canonical_dumps(data))
+    return data
+
+
+def load_suite_timing(path: Path, suite: Optional[str] = None) -> Dict[str, object]:
+    """Load the timing artifact; with ``suite`` given, return that entry only."""
+    data = json.loads(Path(path).read_text())
+    if data.get("schema") != TIMING_SCHEMA:
+        raise ValueError(
+            f"{path}: unsupported timing snapshot schema {data.get('schema')!r} "
+            f"(expected {TIMING_SCHEMA!r})"
+        )
+    if suite is None:
+        return data
+    try:
+        return data["suites"][suite]
+    except KeyError:
+        raise ValueError(f"{path}: no timing entry for suite {suite!r}") from None
+
+
 def write_suite_artifacts(
     result: SuiteResult,
     out_dir: Path,
     summary: Optional[Mapping[str, object]] = None,
+    timing: bool = True,
 ) -> Dict[str, Path]:
-    """Write all three artifacts; returns the paths keyed by artifact kind.
+    """Write the suite artifacts; returns the paths keyed by artifact kind.
 
     ``summary`` accepts an already-built :func:`aggregate_suite` snapshot so
-    callers that also display it don't aggregate twice.
+    callers that also display it don't aggregate twice.  ``timing=False``
+    skips the timing merge entirely (and omits the ``"timing"`` path) — a
+    profiled run's wall-clock includes cProfile overhead and must never
+    refresh a timing baseline.
     """
     out_dir = Path(out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
     paths = {
         "trials": out_dir / TRIALS_FILENAME,
         "suite": out_dir / SUITE_FILENAME,
-        "timing": out_dir / TIMING_FILENAME,
     }
     write_trial_rows(paths["trials"], result.rows())
     paths["suite"].write_text(canonical_dumps(summary if summary is not None
                                               else aggregate_suite(result)))
-    paths["timing"].write_text(canonical_dumps(timing_summary(result)))
+    if timing:
+        paths["timing"] = out_dir / TIMING_FILENAME
+        merge_timing(paths["timing"], timing_summary(result))
     return paths
 
 

@@ -11,6 +11,12 @@ The gate fails on anything that should never drift silently across PRs:
 Improvements (means shrinking) are reported as informational findings so a
 PR that makes things faster shows up in the compare output, but they do not
 fail the gate — refreshing the baseline is still recommended.
+
+Wall-clock is gated *separately* and opt-in (:func:`compare_timing`): timing
+is machine- and load-dependent, so exceeding the budget produces ``"warn"``
+findings by default — visible in the output, but never failing the
+correctness gate — and ``"fail"`` findings only when the caller asks for
+strict timing enforcement.
 """
 
 from __future__ import annotations
@@ -34,7 +40,7 @@ HIGHER_IS_WORSE = (
 
 @dataclass(frozen=True)
 class Finding:
-    """One compare observation; ``severity`` is ``"fail"`` or ``"info"``."""
+    """One compare observation; ``severity`` is ``"fail"``, ``"warn"`` or ``"info"``."""
 
     severity: str
     scenario: str
@@ -136,5 +142,54 @@ def _compare_scenario(
     return findings
 
 
+def compare_timing(
+    baseline: Mapping[str, object],
+    fresh: Mapping[str, object],
+    budget: float = 0.25,
+    strict: bool = False,
+) -> List[Finding]:
+    """Soft wall-clock gate: is the fresh run within budget of the baseline?
+
+    ``baseline`` and ``fresh`` are per-suite timing entries
+    (``{"total_wall_s": ..., "scenarios": {name: wall_s}}`` — see
+    :func:`repro.experiments.artifacts.load_suite_timing`).  ``budget`` is
+    the allowed fractional slowdown (0.25 = a scenario may be up to 25%
+    slower than the committed baseline).  Violations are ``"warn"`` findings
+    by default — timing depends on the machine and its load, so they never
+    fail :func:`gate_passes` — and ``"fail"`` findings when ``strict`` is
+    set.  Scenario-set differences are informational only: the correctness
+    gate already fails on those.  Speedups are never flagged.
+    """
+    severity = "fail" if strict else "warn"
+    findings: List[Finding] = []
+    base_scenarios: Mapping[str, object] = baseline.get("scenarios", {})
+    fresh_scenarios: Mapping[str, object] = fresh.get("scenarios", {})
+    for name in sorted(set(base_scenarios) - set(fresh_scenarios)):
+        findings.append(Finding("info", name, "wall_s",
+                                "scenario missing from fresh timing"))
+    for name in sorted(set(fresh_scenarios) - set(base_scenarios)):
+        findings.append(Finding("info", name, "wall_s",
+                                "scenario not in the timing baseline"))
+    for name in sorted(set(base_scenarios) & set(fresh_scenarios)):
+        old = float(base_scenarios[name])
+        new = float(fresh_scenarios[name])
+        if old > 0 and new > old * (1.0 + budget):
+            findings.append(Finding(
+                severity, name, "wall_s",
+                f"over timing budget: {old:g}s -> {new:g}s "
+                f"({(new - old) / old:+.0%}, budget +{budget:.0%})",
+            ))
+    old_total = float(baseline.get("total_wall_s", 0.0))
+    new_total = float(fresh.get("total_wall_s", 0.0))
+    if old_total > 0 and new_total > old_total * (1.0 + budget):
+        findings.append(Finding(
+            severity, "-", "total_wall_s",
+            f"suite over timing budget: {old_total:g}s -> {new_total:g}s "
+            f"({(new_total - old_total) / old_total:+.0%}, budget +{budget:.0%})",
+        ))
+    return findings
+
+
 def gate_passes(findings: List[Finding]) -> bool:
+    """True when no finding is fatal (``"warn"`` and ``"info"`` both pass)."""
     return not any(f.severity == "fail" for f in findings)

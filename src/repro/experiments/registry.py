@@ -10,10 +10,13 @@ executable trial:
   metrics dict for one trial.  All coloring solvers share the same metric
   schema so suites can be aggregated and diffed uniformly.
 * ``SUITES`` — the named scenario collections the CLI exposes
-  (``smoke``, ``coloring``, ``bandwidth``, ``detection``, ``scaling``).
-  The suites absorb the workloads of the historical ``bench_e*`` scripts —
-  scenarios tagged ``e09``/``e11``/``e12``/``e16`` are the exact points those
-  benchmarks now resolve via :func:`get_suite`.
+  (``smoke``, ``coloring``, ``bandwidth``, ``detection``, ``scaling``,
+  ``scale``).  The suites absorb the workloads of the historical ``bench_e*``
+  scripts — scenarios tagged ``e09``/``e11``/``e12``/``e16`` are the exact
+  points those benchmarks now resolve via :func:`get_suite`.  ``scale`` is
+  the large-n workload (n = 2 000 / 10 000 / 50 000) unlocked by the slot
+  transport and the slot-indexed simulation core; it runs single trials on
+  the ``counters`` ledger so wall-clock and memory stay bounded.
 """
 
 from __future__ import annotations
@@ -461,12 +464,45 @@ def _scaling_suite() -> List[ScenarioSpec]:
     return specs
 
 
+def _scale_suite() -> List[ScenarioSpec]:
+    """Large-n wall-clock workload: n = 2 000 / 10 000 / 50 000.
+
+    Four graph families (gnp, power-law, geometric, ring-of-cliques) under
+    the D1LC and D1C solvers, one trial each.  The n=2 000 points are the
+    CI-sized smoke end of the suite; the n=50 000 points are the headline
+    "tens of thousands of nodes on a laptop" data.  Degrees are kept modest
+    (≈6–10) so the per-edge similarity sweeps stay linear in m; gnp is only
+    used at n=2 000 because ``nx.gnp_random_graph`` itself is O(n²).
+    """
+    return [
+        ScenarioSpec("d1lc-gnp-n2000", "gnp_avg_degree", "d1lc",
+                     family_params={"n": 2000, "avg_degree": 8.0},
+                     seed=2000, tags=("scale",)),
+        ScenarioSpec("d1c-powerlaw-n2000", "power_law", "d1c",
+                     family_params={"n": 2000, "attachment": 4},
+                     seed=2000, tags=("scale",)),
+        ScenarioSpec("d1lc-powerlaw-n10000", "power_law", "d1lc",
+                     family_params={"n": 10000, "attachment": 3},
+                     seed=10000, tags=("scale",)),
+        ScenarioSpec("d1c-geometric-n10000", "random_geometric", "d1c",
+                     family_params={"n": 10000, "radius": 0.016},
+                     seed=10000, tags=("scale",)),
+        ScenarioSpec("d1lc-ring-of-cliques-n50000", "ring_of_cliques", "d1lc",
+                     family_params={"num_cliques": 6250, "clique_size": 8},
+                     tags=("scale", "n50k")),
+        ScenarioSpec("d1c-geometric-n50000", "random_geometric", "d1c",
+                     family_params={"n": 50000, "radius": 0.0062},
+                     seed=50000, tags=("scale", "n50k")),
+    ]
+
+
 _SUITE_BUILDERS: Dict[str, Callable[[], List[ScenarioSpec]]] = {
     "smoke": _smoke_suite,
     "coloring": _coloring_suite,
     "bandwidth": _bandwidth_suite,
     "detection": _detection_suite,
     "scaling": _scaling_suite,
+    "scale": _scale_suite,
 }
 
 

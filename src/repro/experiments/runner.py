@@ -12,7 +12,10 @@ artifact store keeps out of the aggregate snapshot for exactly that reason.
 from __future__ import annotations
 
 import contextlib
+import cProfile
+import io
 import os
+import pstats
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -29,6 +32,14 @@ from repro.experiments.spec import ScenarioSpec, trial_seeds
 NON_METRIC_KEYS = (
     "scenario", "family", "solver", "trial", "graph_seed", "solver_seed", "wall_s",
 )
+
+#: Number of cumulative-time hotspots written per scenario profile.
+PROFILE_TOP = 25
+
+
+def profile_filename(scenario: str) -> str:
+    """Name of the per-scenario hotspot file written next to trial artifacts."""
+    return f"PROFILE_{scenario}.txt"
 
 
 @dataclass
@@ -115,6 +126,7 @@ def run_scenarios(
     workers: int = 1,
     suite: str = "adhoc",
     progress=None,
+    profile_dir: Optional[Path] = None,
 ) -> SuiteResult:
     """Run every trial of every spec, serially or across worker processes.
 
@@ -122,6 +134,13 @@ def run_scenarios(
     a time (the CLI uses it for live output).  Rows are always assembled in
     (spec order, trial order), so a parallel run's result is identical to a
     serial run's apart from wall-clock fields.
+
+    ``profile_dir`` enables evidence gathering for perf work: every scenario
+    is wrapped in ``cProfile`` and its top-``PROFILE_TOP`` cumulative hotspots
+    are written to ``PROFILE_<scenario>.txt`` in that directory, next to the
+    trial artifacts.  Profiling forces serial execution (``workers`` is
+    ignored) and inflates the ``wall_s`` fields with profiler overhead, so a
+    profiled run must not be used to refresh timing baselines.
     """
     for spec in specs:
         validate_spec(spec)
@@ -130,7 +149,23 @@ def run_scenarios(
              for trial in range(spec.trials)]
     results: Dict[tuple, Dict[str, object]] = {}
     suite_start = time.perf_counter()
-    if workers <= 1 or len(tasks) <= 1:
+    if profile_dir is not None:
+        profile_dir = Path(profile_dir)
+        profile_dir.mkdir(parents=True, exist_ok=True)
+        for index, spec in enumerate(specs):
+            profiler = cProfile.Profile()
+            for trial in range(spec.trials):
+                profiler.enable()
+                row = run_trial(spec, trial)
+                profiler.disable()
+                results[(index, trial)] = row
+                if progress is not None:
+                    progress(row)
+            stream = io.StringIO()
+            pstats.Stats(profiler, stream=stream).sort_stats(
+                "cumulative").print_stats(PROFILE_TOP)
+            (profile_dir / profile_filename(spec.name)).write_text(stream.getvalue())
+    elif workers <= 1 or len(tasks) <= 1:
         for index, spec, trial in tasks:
             row = run_trial(spec, trial)
             results[(index, trial)] = row
@@ -166,21 +201,36 @@ def run_suite(
     backend: Optional[str] = None,
     trials: Optional[int] = None,
     progress=None,
+    only: Optional[Sequence[str]] = None,
+    profile_dir: Optional[Path] = None,
 ) -> SuiteResult:
     """Resolve a named suite and run it, with optional global overrides.
 
     ``backend`` overrides the transport backend of every scenario (a
     performance-only knob: the aggregate artifact is identical across
     backends, which the CI smoke job exploits to cross-check the transport
-    engine).  ``trials`` overrides every scenario's trial count.
+    engine).  ``trials`` overrides every scenario's trial count.  ``only``
+    restricts the run to the named scenarios (unknown names are an error) —
+    note the resulting aggregate then covers a scenario *subset* and will not
+    gate cleanly against a full-suite baseline.  ``profile_dir`` is forwarded
+    to :func:`run_scenarios` (per-scenario cProfile hotspots).
     """
     from dataclasses import replace
 
     from repro.experiments.registry import get_suite
 
     specs = get_suite(name)
+    if only:
+        wanted = set(only)
+        unknown = wanted - {spec.name for spec in specs}
+        if unknown:
+            raise ValueError(
+                f"suite {name!r} has no scenarios named: {sorted(unknown)}"
+            )
+        specs = [spec for spec in specs if spec.name in wanted]
     if backend is not None:
         specs = [replace(spec, backend=backend) for spec in specs]
     if trials is not None:
         specs = [replace(spec, trials=trials) for spec in specs]
-    return run_scenarios(specs, workers=workers, suite=name, progress=progress)
+    return run_scenarios(specs, workers=workers, suite=name, progress=progress,
+                         profile_dir=profile_dir)

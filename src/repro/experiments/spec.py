@@ -23,7 +23,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Tuple
 
-BACKENDS = ("batch", "dict")
+BACKENDS = ("batch", "dict", "slot")
 LEDGERS = ("records", "counters")
 MODES = ("congest", "local")
 

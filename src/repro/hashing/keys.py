@@ -63,6 +63,17 @@ def _combine_part_keys(part_keys: tuple) -> int:
     return mix64(*part_keys, 0x7157)
 
 
+def combine_part_keys(part_keys: tuple) -> int:
+    """Key of a tuple whose per-part keys are already known.
+
+    ``combine_part_keys(tuple(map(element_key, t))) == element_key(t)`` for any
+    tuple ``t`` — hot paths that hash the same scaled elements many times (the
+    similarity sweep precomputes one key list per node) use this to skip the
+    per-call tuple dispatch of :func:`element_key`.
+    """
+    return _combine_part_keys(part_keys)
+
+
 def element_key(element: object) -> int:
     """Return a stable 64-bit integer key for ``element``."""
     if isinstance(element, bool):

@@ -32,9 +32,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Hashable, Optional
+from typing import Dict, Hashable, Iterable, Optional, Set
 
-from repro.hashing.keys import MIX64_INIT, element_key, mix64, mix64_step
+from repro.hashing.keys import _MASK64, MIX64_INIT, element_key, mix64, mix64_step
 
 #: Hard cap on the family size used for *communication accounting*.  Lemma 1's
 #: family has size ``Theta(beta * lambda / nu * log|U|)``; transmitting an
@@ -137,6 +137,34 @@ class RepresentativeHashFunction:
             value = 1 + mix64_step(self._prefix, key) % self.lam
             self._memo[key] = value
         return value
+
+    def low_unique_values(self, keys: Iterable[int], sigma: int) -> Set[int]:
+        """Hash values in ``[sigma]`` hit by *exactly one* of ``keys``.
+
+        ``keys`` are precomputed :func:`~repro.hashing.keys.element_key`
+        values (one per element, duplicates allowed — a duplicate key means a
+        hash collision at key level and therefore a non-unique value, exactly
+        as evaluating ``h`` element by element would conclude).  This is the
+        single primitive ``EstimateSimilarity`` needs per endpoint; computing
+        it here, with the splitmix64 finaliser of
+        :func:`~repro.hashing.keys.mix64_step` inlined into one tight loop,
+        avoids one Python call plus a memo lookup per element.  The values are
+        identical to ``{h(x) for unique x}`` by construction.
+        """
+        lam = self.lam
+        prefix = self._prefix
+        counts: Dict[int, int] = {}
+        get = counts.get
+        for key in keys:
+            # mix64_step(prefix, key), inlined (keys are already 64-bit).
+            acc = ((prefix ^ key) + 0x9E3779B97F4A7C15) & _MASK64
+            z = ((acc ^ (acc >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+            z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+            value = 1 + (z ^ (z >> 31)) % lam
+            if value <= sigma:
+                seen = get(value)
+                counts[value] = 1 if seen is None else seen + 1
+        return {value for value, count in counts.items() if count == 1}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging convenience
         return f"RepresentativeHashFunction(index={self.index}, lam={self.lam})"

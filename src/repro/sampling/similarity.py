@@ -33,10 +33,11 @@ import random
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Hashable, Iterable, Mapping, Optional, Set, Tuple
 
-from repro.congest.bandwidth import bitstring_message, index_message
+from repro.congest.bandwidth import index_message
+from repro.congest.message import Message
 from repro.congest.network import Network
+from repro.hashing.keys import combine_part_keys, element_key
 from repro.hashing.representative import RepresentativeHashFamily
-from repro.hashing.setops import unique_part
 from repro.utils.rng import RngStream
 
 Node = Hashable
@@ -134,9 +135,35 @@ def _scaled(elements: Iterable[Hashable], k: int) -> Set[Hashable]:
 
 
 def _low_unique_hashes(h, elements: Set[Hashable], sigma: int) -> Set[int]:
-    """Hash values (``<= sigma``) hit by exactly one element of ``elements``."""
-    survivors = unique_part(h, elements, elements, sigma)
-    return {h(x) for x in survivors}
+    """Hash values (``<= sigma``) hit by exactly one element of ``elements``.
+
+    Equivalent to ``{h(x) for x in unique_part(h, elements, elements, sigma)}``
+    but computed in a single counting pass: a low hash value survives iff
+    exactly one element maps to it (set members are pairwise distinct, so the
+    "collides with an *other* element" clause reduces to a count).
+    """
+    counts: Dict[int, int] = {}
+    get = counts.get
+    for x in elements:
+        value = h(x)
+        if value <= sigma:
+            seen = get(value)
+            counts[value] = 1 if seen is None else seen + 1
+    return {value for value, count in counts.items() if count == 1}
+
+
+def _indicator_message(hashes: Set[int], sigma: int, label: str) -> Message:
+    """The ``σ``-bit indicator of ``hashes ⊆ [sigma]``, charged ``σ`` bits.
+
+    The charge is the full indicator length (``max(1, sigma)`` bits, exactly
+    what :func:`~repro.congest.bandwidth.bitstring_message` declares for a
+    ``σ``-position 0/1 string); the *content* carries the equivalent sparse
+    encoding — the sorted 1-positions — so a graph-wide sweep does not
+    materialise a ``σ``-length tuple per endpoint per edge.  Receivers only
+    ever intersect the marked positions, and the simulation reads the hash
+    sets directly, so the dense and sparse encodings are interchangeable.
+    """
+    return Message(content=tuple(sorted(hashes)), bits=max(1, sigma), label=label)
 
 
 def estimate_similarity(
@@ -207,21 +234,64 @@ def estimate_similarity_on_edges(
     edges = [tuple(edge) for edge in edges]
     stream = RngStream(seed)
 
+    # Per-sweep caches.  A node of degree d participates in up to d requested
+    # edges; without these caches its set is copied, scaled and re-keyed once
+    # per *edge* instead of once per *node*, which used to dominate the ACD's
+    # wall-clock.  All cached values are pure functions of their keys, so the
+    # sweep's outputs are bit-identical to the uncached computation:
+    #
+    # * ``node_sets``   — one set copy per node;
+    # * ``families``    — ``params.family(lam_arg)`` is deterministic in its
+    #   argument (``params`` is fixed for the sweep), so equal ``max_size * k``
+    #   means the *same* family, threshold and seed;
+    # * ``scaled_keys`` — the element keys of the scaled set ``S × [k]``:
+    #   ``element_key((x, j)) == combine_part_keys((element_key(x), j))``.
+    node_sets: Dict[Node, Set[Hashable]] = {}
+    families: Dict[int, RepresentativeHashFamily] = {}
+    scaled_keys: Dict[Tuple[Node, int], list] = {}
+
+    def _set_of(node: Node) -> Set[Hashable]:
+        members = node_sets.get(node)
+        if members is None:
+            members = set(sets.get(node, ()))
+            node_sets[node] = members
+        return members
+
+    def _family_for(lam_arg: int) -> RepresentativeHashFamily:
+        family = families.get(lam_arg)
+        if family is None:
+            family = params.family(lam_arg)
+            families[lam_arg] = family
+        return family
+
+    def _keys_of(node: Node, k: int) -> list:
+        keys = scaled_keys.get((node, k))
+        if keys is None:
+            base = [element_key(x) for x in node_sets[node]]
+            if k <= 1:
+                keys = base
+            else:
+                keys = [
+                    combine_part_keys((part, j)) for part in base for j in range(k)
+                ]
+            scaled_keys[(node, k)] = keys
+        return keys
+
     # Round 1: on every edge the endpoint with the smaller identifier draws
     # the shared hash-function index and sends it across (log F bits).
     index_payloads = {}
     per_edge_state: Dict[Edge, Tuple] = {}
     for (u, v) in edges:
-        set_u = set(sets.get(u, ()))
-        set_v = set(sets.get(v, ()))
+        set_u = _set_of(u)
+        set_v = _set_of(v)
         if not set_u or not set_v:
             per_edge_state[(u, v)] = None
             continue
         max_size = max(len(set_u), len(set_v))
         k = params.scale_factor(max_size)
-        family = params.family(max_size * k)
+        family = _family_for(max_size * k)
         index = family.sample_index(stream.for_edge(u, v, label))
-        per_edge_state[(u, v)] = (set_u, set_v, k, family, index)
+        per_edge_state[(u, v)] = (k, family, index)
         sender, receiver = (u, v) if repr(u) <= repr(v) else (v, u)
         index_payloads[(sender, receiver)] = index_message(
             index, family.size, label=f"{label}:index"
@@ -230,26 +300,22 @@ def estimate_similarity_on_edges(
     # budget it may still need a couple of chunked rounds.
     network.exchange_chunked(index_payloads, label=f"{label}:index")
 
-    # Round 2: both endpoints exchange the σ-bit indicator of h(T).
+    # Round 2: both endpoints exchange the σ-bit indicator of h(T), where
+    # T = S ¬_h S is computed in one counting pass over the precomputed keys.
     indicator_payloads = {}
     per_edge_hashes: Dict[Edge, Tuple[Set[int], Set[int]]] = {}
     for (u, v), state in per_edge_state.items():
         if state is None:
             continue
-        set_u, set_v, k, family, index = state
+        k, family, index = state
         h = family.member(index)
         sigma = family.sigma
-        hashes_u = _low_unique_hashes(h, _scaled(set_u, k), sigma)
-        hashes_v = _low_unique_hashes(h, _scaled(set_v, k), sigma)
+        hashes_u = h.low_unique_values(_keys_of(u, k), sigma)
+        hashes_v = h.low_unique_values(_keys_of(v, k), sigma)
         per_edge_hashes[(u, v)] = (hashes_u, hashes_v)
-        bits_u = [0] * sigma
-        for value in hashes_u:
-            bits_u[value - 1] = 1
-        bits_v = [0] * sigma
-        for value in hashes_v:
-            bits_v[value - 1] = 1
-        indicator_payloads[(u, v)] = bitstring_message(bits_u, label=f"{label}:indicator")
-        indicator_payloads[(v, u)] = bitstring_message(bits_v, label=f"{label}:indicator")
+        indicator_label = f"{label}:indicator"
+        indicator_payloads[(u, v)] = _indicator_message(hashes_u, sigma, indicator_label)
+        indicator_payloads[(v, u)] = _indicator_message(hashes_v, sigma, indicator_label)
     network.exchange_chunked(indicator_payloads, label=f"{label}:indicator")
 
     results: Dict[Edge, SimilarityResult] = {}
@@ -264,7 +330,7 @@ def estimate_similarity_on_edges(
                 shared_hash_values=frozenset(),
             )
             continue
-        _set_u, _set_v, k, family, _index = state
+        k, family, _index = state
         hashes_u, hashes_v = per_edge_hashes[(u, v)]
         shared = frozenset(hashes_u & hashes_v)
         estimate = len(shared) * family.lam / (family.sigma * k)

@@ -102,3 +102,68 @@ class TestSuiteCommands:
         assert main(["suite", "compare", "--baseline", str(baseline),
                      "--fresh", str(fresh)]) == 1
         assert "FAIL" in capsys.readouterr().out
+
+    def test_suite_run_slot_backend_matches_default_aggregate(self, capsys, tmp_path):
+        assert main(["suite", "run", "smoke", "--trials", "1",
+                     "--only", "gnp-d1c", "--out", str(tmp_path / "a")]) == 0
+        assert main(["suite", "run", "smoke", "--trials", "1",
+                     "--only", "gnp-d1c", "--backend", "slot",
+                     "--out", str(tmp_path / "b")]) == 0
+        a = (tmp_path / "a" / "BENCH_suite.json").read_bytes()
+        b = (tmp_path / "b" / "BENCH_suite.json").read_bytes()
+        assert a == b  # the backend knob never reaches the aggregate
+
+    def test_suite_run_only_unknown_scenario(self, tmp_path):
+        with pytest.raises(ValueError, match="no scenarios named"):
+            main(["suite", "run", "smoke", "--only", "nope",
+                  "--out", str(tmp_path)])
+
+    def test_suite_run_profile_writes_hotspots(self, capsys, tmp_path):
+        assert main(["suite", "run", "smoke", "--trials", "1",
+                     "--only", "gnp-d1c", "--profile",
+                     "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "PROFILE_gnp-d1c.txt" in out
+        profile = tmp_path / "PROFILE_gnp-d1c.txt"
+        assert profile.exists() and "cumulative" in profile.read_text()
+        # Profiler-inflated wall-clock must never refresh the timing artifact.
+        assert not (tmp_path / "BENCH_suite_timing.json").exists()
+
+    def test_suite_compare_skips_timing_without_baseline_file(self, capsys, tmp_path):
+        assert main(["suite", "run", "smoke", "--trials", "1",
+                     "--out", str(tmp_path)]) == 0
+        suite_path = tmp_path / "BENCH_suite.json"
+        capsys.readouterr()
+        assert main(["suite", "compare", "--baseline", str(suite_path),
+                     "--fresh", str(suite_path), "--timing-budget", "25",
+                     "--timing-baseline", str(tmp_path / "missing.json")]) == 0
+        out = capsys.readouterr().out
+        assert "timing check skipped" in out and "PASS" in out
+
+    def test_suite_compare_timing_budget_warns_but_passes(self, capsys, tmp_path):
+        import json
+
+        assert main(["suite", "run", "smoke", "--trials", "1",
+                     "--out", str(tmp_path)]) == 0
+        suite_path = tmp_path / "BENCH_suite.json"
+        timing_path = tmp_path / "BENCH_suite_timing.json"
+        # Make the committed baseline impossibly fast, so the fresh run is
+        # far over budget: default (soft) mode warns, strict mode fails.
+        fast = json.loads(timing_path.read_text())
+        for name in fast["suites"]["smoke"]["scenarios"]:
+            fast["suites"]["smoke"]["scenarios"][name] = 1e-9
+        fast["suites"]["smoke"]["total_wall_s"] = 1e-9
+        fast_path = tmp_path / "fast_timing.json"
+        fast_path.write_text(json.dumps(fast))
+        capsys.readouterr()
+        assert main(["suite", "compare", "--baseline", str(suite_path),
+                     "--fresh", str(suite_path),
+                     "--timing-budget", "25",
+                     "--timing-baseline", str(fast_path)]) == 0
+        out = capsys.readouterr().out
+        assert "warn" in out and "PASS" in out
+        assert main(["suite", "compare", "--baseline", str(suite_path),
+                     "--fresh", str(suite_path),
+                     "--timing-budget", "25", "--strict-timing",
+                     "--timing-baseline", str(fast_path)]) == 1
+        assert "FAIL" in capsys.readouterr().out

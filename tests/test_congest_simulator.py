@@ -104,6 +104,115 @@ class TestNodeState:
         assert state.output == "done"
 
 
+class TestActiveSetMaintenance:
+    """The active set is maintained incrementally: halted nodes never step
+    again and the driver stops as soon as the set drains (no O(n) rescans)."""
+
+    def test_halted_nodes_never_step_again(self):
+        calls = []
+
+        class HaltAtOwnRound(NodeProgram):
+            def step(self, ctx, inbox):
+                calls.append(ctx.node)
+                if ctx.round_index >= ctx.node:
+                    ctx.state.halt(ctx.round_index)
+                return {}
+
+        net = Network(nx.path_graph(4))
+        result = Simulator(net, HaltAtOwnRound(), seed=0).run()
+        # Node v steps in rounds 0..v exactly, so it appears v+1 times.
+        assert all(calls.count(v) == v + 1 for v in range(4))
+        assert result.all_halted()
+        assert result.rounds == 4
+
+    def test_step_returns_false_once_everyone_halted(self):
+        class HaltImmediately(NodeProgram):
+            def step(self, ctx, inbox):
+                ctx.state.halt("done")
+                return {}
+
+        net = Network(nx.path_graph(3))
+        sim = Simulator(net, HaltImmediately(), seed=0)
+        assert sim.step() is False  # everyone halted during the round
+        assert sim.step() is False  # and the set stays drained
+        assert net.ledger.rounds == 1  # the drained round charges nothing new
+
+    def test_node_halting_in_init_never_steps(self):
+        stepped = []
+
+        class EvenNodesQuitInInit(NodeProgram):
+            def init(self, ctx):
+                if ctx.node % 2 == 0:
+                    ctx.state.halt("early")
+
+            def step(self, ctx, inbox):
+                stepped.append(ctx.node)
+                ctx.state.halt("late")
+                return {}
+
+        net = Network(nx.path_graph(4))
+        result = Simulator(net, EvenNodesQuitInInit(), seed=0).run()
+        assert sorted(stepped) == [1, 3]
+        assert result.outputs[0] == "early" and result.outputs[1] == "late"
+
+
+class TestInboxContract:
+    """Programs always receive a private mutable inbox dict; pooled inboxes
+    must never leak one node's (possibly mutated) mail into another round."""
+
+    def test_inbox_is_a_private_mutable_dict(self):
+        class Mutator(NodeProgram):
+            def step(self, ctx, inbox):
+                assert isinstance(inbox, dict)
+                inbox["scribble"] = ctx.node  # mutation must be allowed
+                inbox.clear()
+                if ctx.round_index == 2:
+                    ctx.state.halt(True)
+                    return {}
+                return {u: ctx.node for u in ctx.neighbors}
+
+        net = Network(nx.path_graph(4))
+        result = Simulator(net, Mutator(), seed=0).run()
+        assert all(result.outputs.values())
+
+    def test_mutating_the_inbox_does_not_corrupt_later_rounds(self):
+        seen = {}
+
+        class ClearAndRecord(NodeProgram):
+            def step(self, ctx, inbox):
+                seen.setdefault(ctx.node, []).append(dict(inbox))
+                inbox.clear()          # hostile mutation of the pooled dict
+                inbox["junk"] = -1
+                if ctx.round_index == 2:
+                    ctx.state.halt(True)
+                    return {}
+                return {u: (ctx.node, ctx.round_index) for u in ctx.neighbors}
+
+        net = Network(nx.path_graph(3))
+        Simulator(net, ClearAndRecord(), seed=0).run()
+        # Round 0 inboxes are empty; later rounds hold exactly last round's
+        # mail — never the "junk" entry a neighbour (or the node itself)
+        # planted in a pooled dict.
+        assert seen[1][0] == {}
+        assert seen[1][1] == {0: (0, 0), 2: (2, 0)}
+        assert seen[1][2] == {0: (0, 1), 2: (2, 1)}
+        assert all("junk" not in box for boxes in seen.values() for box in boxes)
+
+    def test_empty_inboxes_are_not_shared_between_nodes(self):
+        boxes = {}
+
+        class Grab(NodeProgram):
+            def step(self, ctx, inbox):
+                boxes[ctx.node] = inbox
+                ctx.state.halt(True)
+                return {}
+
+        net = Network(nx.path_graph(3))
+        Simulator(net, Grab(), seed=0).run()
+        ids = {id(box) for box in boxes.values()}
+        assert len(ids) == len(boxes)
+
+
 class TestContextReuse:
     def test_context_objects_are_reused_across_rounds(self):
         seen = []

@@ -13,20 +13,26 @@ from repro.experiments import (
     aggregate_suite,
     canonical_dumps,
     compare_summaries,
+    compare_timing,
     derive_seed,
     gate_passes,
     get_suite,
     load_suite_summary,
+    load_suite_timing,
     load_trial_rows,
+    merge_timing,
+    profile_filename,
     run_scenarios,
+    run_suite,
     run_trial,
     suite_names,
+    timing_summary,
     trial_seeds,
     validate_spec,
     write_suite_artifacts,
     write_trial_rows,
 )
-from repro.experiments.artifacts import SCHEMA
+from repro.experiments.artifacts import SCHEMA, TIMING_SCHEMA
 from repro.metrics.report import aggregate_rows, mean, median, percentile, summary_stats
 
 
@@ -39,9 +45,12 @@ TINY_SPECS = [
 
 class TestRegistry:
     def test_expected_suites_exist(self):
-        assert suite_names() == ["bandwidth", "coloring", "detection", "scaling", "smoke"]
+        assert suite_names() == [
+            "bandwidth", "coloring", "detection", "scale", "scaling", "smoke"
+        ]
 
-    @pytest.mark.parametrize("name", ["bandwidth", "coloring", "detection", "scaling", "smoke"])
+    @pytest.mark.parametrize(
+        "name", ["bandwidth", "coloring", "detection", "scale", "scaling", "smoke"])
     def test_every_suite_resolves_and_validates(self, name):
         specs = get_suite(name)
         assert specs
@@ -66,6 +75,22 @@ class TestRegistry:
         assert graph.number_of_nodes() == 20 and truth is None
         graph, _ = GRAPH_FAMILIES["ring_of_cliques"](seed=0, num_cliques=3, clique_size=4)
         assert graph.number_of_nodes() == 12
+
+    def test_scale_suite_shape(self):
+        specs = get_suite("scale")
+        assert {spec.solver for spec in specs} == {"d1lc", "d1c"}
+        assert {spec.family for spec in specs} >= {
+            "gnp_avg_degree", "power_law", "random_geometric", "ring_of_cliques"
+        }
+        assert all("scale" in spec.tags for spec in specs)
+        assert all(spec.trials == 1 for spec in specs)
+        assert any("n50k" in spec.tags for spec in specs)
+        # The slot backend must be a valid override for every scale scenario.
+        for spec in specs:
+            validate_spec(dataclasses.replace(spec, backend="slot"))
+
+    def test_slot_backend_is_registered(self):
+        validate_spec(dataclasses.replace(TINY_SPECS[0], backend="slot"))
 
     def test_validate_spec_rejects_bad_fields(self):
         good = TINY_SPECS[0]
@@ -128,9 +153,26 @@ class TestRunner:
 
     def test_backend_does_not_change_aggregates(self):
         batch = run_scenarios(TINY_SPECS, suite="tiny")
-        dict_specs = [dataclasses.replace(s, backend="dict") for s in TINY_SPECS]
-        dict_backend = run_scenarios(dict_specs, suite="tiny")
-        assert aggregate_suite(batch) == aggregate_suite(dict_backend)
+        for backend in ("dict", "slot"):
+            other_specs = [dataclasses.replace(s, backend=backend)
+                           for s in TINY_SPECS]
+            other = run_scenarios(other_specs, suite="tiny")
+            assert aggregate_suite(batch) == aggregate_suite(other), backend
+
+    def test_run_suite_only_filter(self):
+        result = run_suite("smoke", only=["gnp-d1c"], trials=1)
+        assert [s.spec.name for s in result.scenarios] == ["gnp-d1c"]
+        with pytest.raises(ValueError, match="no scenarios named"):
+            run_suite("smoke", only=["missing-scenario"])
+
+    def test_profile_dir_writes_hotspot_files(self, tmp_path):
+        result = run_scenarios(TINY_SPECS[:1], suite="tiny", profile_dir=tmp_path)
+        assert [s.spec.name for s in result.scenarios] == ["tiny-d1c"]
+        profile = tmp_path / profile_filename("tiny-d1c")
+        assert profile.exists()
+        text = profile.read_text()
+        assert "cumulative" in text  # sorted by cumulative time
+        assert "solve_instance" in text or "solve_d1c" in text
 
     def test_aggregate_contains_no_timing(self):
         result = run_scenarios(TINY_SPECS[:1], suite="tiny")
@@ -154,7 +196,43 @@ class TestArtifacts:
         assert set(summary["scenarios"]) == {"tiny-d1c", "tiny-johansson"}
         assert summary == aggregate_suite(result)
         timing = json.loads(paths["timing"].read_text())
-        assert set(timing["scenarios"]) == set(summary["scenarios"])
+        assert timing["schema"] == TIMING_SCHEMA
+        assert set(timing["suites"]["tiny"]["scenarios"]) == set(summary["scenarios"])
+
+    def test_timing_file_merges_across_suites(self, tmp_path):
+        path = tmp_path / "timing.json"
+        merge_timing(path, {"suite": "alpha", "total_wall_s": 1.0,
+                            "scenarios": {"a": 1.0}})
+        merge_timing(path, {"suite": "beta", "total_wall_s": 2.0,
+                            "scenarios": {"b": 2.0}})
+        # Re-running a suite replaces its own entry, keeps the others.
+        merge_timing(path, {"suite": "alpha", "total_wall_s": 0.5,
+                            "scenarios": {"a": 0.5}})
+        data = load_suite_timing(path)
+        assert set(data["suites"]) == {"alpha", "beta"}
+        assert load_suite_timing(path, suite="alpha")["total_wall_s"] == 0.5
+        with pytest.raises(ValueError, match="no timing entry"):
+            load_suite_timing(path, suite="gamma")
+
+    def test_merge_timing_overwrites_legacy_file(self, tmp_path):
+        path = tmp_path / "timing.json"
+        path.write_text(json.dumps({"suite": "old", "total_wall_s": 9}))
+        merge_timing(path, {"suite": "alpha", "total_wall_s": 1.0,
+                            "scenarios": {}})
+        assert set(load_suite_timing(path)["suites"]) == {"alpha"}
+
+    def test_load_timing_rejects_unknown_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "other/9", "suites": {}}))
+        with pytest.raises(ValueError, match="schema"):
+            load_suite_timing(path)
+
+    def test_timing_summary_round_trips_through_artifacts(self, tmp_path):
+        result = run_scenarios(TINY_SPECS[:1], suite="tiny")
+        paths = write_suite_artifacts(result, tmp_path)
+        entry = load_suite_timing(paths["timing"], suite="tiny")
+        assert entry == {k: v for k, v in timing_summary(result).items()
+                         if k != "suite"}
 
     def test_load_rejects_unknown_schema(self, tmp_path):
         path = tmp_path / "bad.json"
@@ -258,3 +336,34 @@ class TestCompare:
         findings = compare_summaries(baseline, fresh)
         assert findings == [Finding("fail", "-", "suite",
                                     "suite mismatch: baseline='tiny' fresh='other'")]
+
+
+class TestTimingGate:
+    BASE = {"total_wall_s": 10.0, "scenarios": {"a": 4.0, "b": 6.0}}
+
+    def test_within_budget_is_silent(self):
+        fresh = {"total_wall_s": 11.0, "scenarios": {"a": 4.4, "b": 6.6}}
+        findings = compare_timing(self.BASE, fresh, budget=0.25)
+        assert findings == [] and gate_passes(findings)
+
+    def test_speedup_is_never_flagged(self):
+        fresh = {"total_wall_s": 2.0, "scenarios": {"a": 0.5, "b": 1.5}}
+        assert compare_timing(self.BASE, fresh, budget=0.25) == []
+
+    def test_over_budget_warns_but_passes_the_gate(self):
+        fresh = {"total_wall_s": 20.0, "scenarios": {"a": 9.0, "b": 6.0}}
+        findings = compare_timing(self.BASE, fresh, budget=0.25)
+        assert any(f.severity == "warn" and f.scenario == "a" for f in findings)
+        assert any(f.metric == "total_wall_s" for f in findings)
+        assert gate_passes(findings)  # warnings are soft by design
+
+    def test_strict_timing_fails_the_gate(self):
+        fresh = {"total_wall_s": 20.0, "scenarios": {"a": 9.0, "b": 6.0}}
+        findings = compare_timing(self.BASE, fresh, budget=0.25, strict=True)
+        assert not gate_passes(findings)
+
+    def test_scenario_set_differences_are_informational(self):
+        fresh = {"total_wall_s": 10.0, "scenarios": {"a": 4.0, "c": 1.0}}
+        findings = compare_timing(self.BASE, fresh, budget=0.25, strict=True)
+        assert {f.severity for f in findings} == {"info"}
+        assert gate_passes(findings)

@@ -86,6 +86,42 @@ class TestFamily:
             assert 0 <= family.sample_index(rng) < family.size
 
 
+class TestLowUniqueValuesFastPath:
+    """The inlined counting pass must agree with per-element evaluation."""
+
+    def make(self, lam=600, seed=0):
+        return RepresentativeHashFamily(
+            universe_label="colors", universe_size=10 ** 6, lam=lam,
+            alpha=1 / 12, beta=1 / 3, nu=0.05, seed=seed,
+        )
+
+    @staticmethod
+    def oracle(h, elements, sigma):
+        """Literal definition: low hash values hit by exactly one element."""
+        values = [h(x) for x in elements]
+        return {v for v in values if v <= sigma and values.count(v) == 1}
+
+    @pytest.mark.parametrize("trial", range(10))
+    def test_matches_elementwise_evaluation(self, trial):
+        from repro.hashing.keys import combine_part_keys, element_key
+
+        rng = random.Random(trial)
+        family = self.make(lam=rng.choice([40, 600]), seed=trial)
+        h = family.member(rng.randrange(family.size))
+        sigma = rng.choice([5, family.sigma, family.lam])
+        # Mixed universe: ints plus scaled (x, j) tuples, as the similarity
+        # sweep hashes them.
+        elements = [rng.randrange(1000) for _ in range(60)]
+        elements += [(rng.randrange(50), j) for j in range(3) for _ in range(20)]
+        keys = [element_key(x) for x in elements]
+        assert h.low_unique_values(keys, sigma) == self.oracle(h, elements, sigma)
+        # Scaled keys built from precombined parts match element_key too.
+        pair_keys = [combine_part_keys((element_key(x), j))
+                     for x in elements[:30] for j in range(4)]
+        direct = [element_key((x, j)) for x in elements[:30] for j in range(4)]
+        assert pair_keys == direct
+
+
 class TestLemma1Statistics:
     """Empirical check of the (A, B)-good properties for random members.
 

@@ -1,11 +1,12 @@
-"""Cross-backend equivalence: DictTransport and BatchTransport must agree.
+"""Cross-backend equivalence: Dict, Batch and Slot transports must agree.
 
 The paper-fidelity contract (DESIGN.md) is that the transport backend is a
-performance choice only: for the same inputs and seeds, both backends must
+performance choice only: for the same inputs and seeds, every backend must
 deliver the same payloads and charge byte-identical ledgers — same rounds,
 labels, message counts, total bits and per-round maxima.  This suite checks
 that contract at the primitive level and end-to-end on several graph
-families.
+families, including small instances of the ``scale`` suite's families
+(geometric, power-law, ring-of-cliques).
 """
 
 import networkx as nx
@@ -13,16 +14,21 @@ import pytest
 
 from repro.baselines import johansson_coloring
 from repro.congest import Message, Network, Simulator
+from repro.congest.transport import EMPTY_INBOX
 from repro.core import solve_d1c, solve_d1lc
 from repro.graphs import (
     degree_plus_one_lists,
     gnp_graph,
     planted_almost_cliques,
+    power_law_graph,
+    random_geometric_graph,
+    ring_of_cliques,
 )
 from repro.graphs.generators import triangle_rich_graph
 from repro.metrics.ledger import CounterLedger, RecordingLedger
 
-BACKENDS = ("dict", "batch")
+BACKENDS = ("dict", "batch", "slot")
+FAST_BACKENDS = ("batch", "slot")  # measured against the "dict" reference
 
 
 def ledger_tuple(network: Network):
@@ -31,45 +37,57 @@ def ledger_tuple(network: Network):
             ledger.max_edge_bits)
 
 
-def assert_identical_ledgers(net_a: Network, net_b: Network):
-    assert ledger_tuple(net_a) == ledger_tuple(net_b)
-    assert net_a.ledger.records == net_b.ledger.records
+def assert_identical_ledgers(*networks: Network):
+    reference = networks[0]
+    for other in networks[1:]:
+        assert ledger_tuple(other) == ledger_tuple(reference), other.backend
+        assert other.ledger.records == reference.ledger.records, other.backend
 
 
-def both_networks(graph, **kwargs):
+def all_networks(graph, **kwargs):
     return tuple(Network(graph, backend=b, **kwargs) for b in BACKENDS)
 
 
 class TestPrimitiveEquivalence:
     def test_exchange(self):
-        for net in both_networks(nx.cycle_graph(6), bandwidth_bits=64):
+        for net in all_networks(nx.cycle_graph(6), bandwidth_bits=64):
             delivered = net.exchange(
                 {(0, 1): 5, (1, 0): Message(content="x", bits=9), (2, 3): (1, 2)},
                 label="t",
             )
             assert delivered[(1, 0)] == "x"
-        net_a, net_b = both_networks(nx.cycle_graph(6), bandwidth_bits=64)
-        for net in (net_a, net_b):
+        nets = all_networks(nx.cycle_graph(6), bandwidth_bits=64)
+        for net in nets:
             net.exchange({(0, 1): 5, (2, 3): [7, 8]}, label="t")
             net.exchange({}, label="empty")
-        assert_identical_ledgers(net_a, net_b)
+        assert_identical_ledgers(*nets)
 
     def test_broadcast_inboxes_and_ledger(self):
-        net_a, net_b = both_networks(nx.star_graph(5), bandwidth_bits=64)
+        nets = all_networks(nx.star_graph(5), bandwidth_bits=64)
         inboxes = []
-        for net in (net_a, net_b):
+        for net in nets:
             inbox = net.broadcast({0: Message(content=3, bits=4), 1: 2}, label="b")
             inboxes.append({v: dict(box) for v, box in inbox.items()})
-        assert inboxes[0] == inboxes[1]
-        assert_identical_ledgers(net_a, net_b)
+        assert all(snapshot == inboxes[0] for snapshot in inboxes[1:])
+        assert_identical_ledgers(*nets)
+
+    def test_broadcast_inbox_ordering_matches(self):
+        """Per-receiver sender order must match across backends: seeded
+        algorithms iterate inbox.items() and consume randomness in order."""
+        graph = nx.complete_graph(5)
+        orders = []
+        for net in all_networks(graph, bandwidth_bits=64):
+            inbox = net.broadcast({3: "c", 1: "a", 2: "b"}, label="b")
+            orders.append({v: list(box) for v, box in inbox.items()})
+        assert all(order == orders[0] for order in orders[1:])
 
     def test_broadcast_restricted_recipients(self):
-        net_a, net_b = both_networks(nx.cycle_graph(5), bandwidth_bits=64)
-        for net in (net_a, net_b):
+        nets = all_networks(nx.cycle_graph(5), bandwidth_bits=64)
+        for net in nets:
             inbox = net.broadcast({0: 7}, senders_only_to={0: [1]}, label="b")
             assert dict(inbox[1]) == {0: 7}
             assert dict(inbox[4]) == {}
-        assert_identical_ledgers(net_a, net_b)
+        assert_identical_ledgers(*nets)
 
     def test_exchange_chunked(self):
         msgs = {
@@ -77,25 +95,58 @@ class TestPrimitiveEquivalence:
             (1, 2): Message(content="short", bits=7),
             (2, 3): Message(content="empty", bits=0),
         }
-        net_a, net_b = both_networks(nx.path_graph(5), bandwidth_bits=8)
-        for net in (net_a, net_b):
+        nets = all_networks(nx.path_graph(5), bandwidth_bits=8)
+        for net in nets:
             delivered = net.exchange_chunked(msgs, label="c")
             assert delivered[(0, 1)] == "long"
-        assert_identical_ledgers(net_a, net_b)
+        assert_identical_ledgers(*nets)
 
     def test_broadcast_chunked(self):
-        net_a, net_b = both_networks(nx.star_graph(4), bandwidth_bits=8)
-        for net in (net_a, net_b):
+        nets = all_networks(nx.star_graph(4), bandwidth_bits=8)
+        for net in nets:
             net.broadcast_chunked({0: Message(content="hub", bits=21)}, label="bc")
-        assert_identical_ledgers(net_a, net_b)
+        assert_identical_ledgers(*nets)
 
     def test_silent_round(self):
-        net_a, net_b = both_networks(nx.path_graph(3))
-        for net in (net_a, net_b):
+        nets = all_networks(nx.path_graph(3))
+        for net in nets:
             net.charge_silent_round(label="s")
-        assert_identical_ledgers(net_a, net_b)
+        assert_identical_ledgers(*nets)
+
+    def test_isolated_sender_contributes_no_messages(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1)
+        graph.add_node(2)  # isolated
+        nets = all_networks(graph, bandwidth_bits=64)
+        for net in nets:
+            inbox = net.broadcast({2: Message(content="big", bits=999), 0: 1},
+                                  label="b")
+            assert dict(inbox[1]) == {0: 1}
+        # The isolated sender's oversized payload is never charged (it has no
+        # recipients), so max_edge_bits must not pick it up on any backend.
+        assert_identical_ledgers(*nets)
+        assert nets[0].ledger.max_edge_bits == 1
 
 
+class TestEmptyInboxContract:
+    """Regression tests for the shared-empty-inbox invariant."""
+
+    def test_silent_nodes_share_the_immutable_empty_inbox(self):
+        for net in all_networks(nx.path_graph(4), bandwidth_bits=64):
+            inbox = net.broadcast({0: 1}, label="b")
+            assert inbox[3] is EMPTY_INBOX, net.backend
+
+    def test_empty_inbox_stays_immutable(self):
+        assert len(EMPTY_INBOX) == 0
+        with pytest.raises(TypeError):
+            EMPTY_INBOX["intruder"] = 1  # type: ignore[index]
+        with pytest.raises(AttributeError):
+            EMPTY_INBOX.clear()  # type: ignore[attr-defined]
+        assert len(EMPTY_INBOX) == 0
+
+
+#: Small instances of every family the equivalence contract must hold on,
+#: including the ``scale`` suite's families at test-sized n.
 GRAPH_FAMILIES = {
     "gnp": lambda: gnp_graph(60, 0.12, seed=5),
     "planted-cliques": lambda: planted_almost_cliques(
@@ -105,6 +156,9 @@ GRAPH_FAMILIES = {
         n=50, planted_cliques=2, clique_size=8, seed=7
     ).graph,
     "cycle": lambda: nx.cycle_graph(30),
+    "geometric": lambda: random_geometric_graph(40, 0.25, seed=11),
+    "power-law": lambda: power_law_graph(40, 3, seed=13),
+    "ring-of-cliques": lambda: ring_of_cliques(4, 6),
 }
 
 
@@ -116,26 +170,32 @@ class TestEndToEndEquivalence:
             backend: solve_d1c(graph, seed=11, backend=backend)
             for backend in BACKENDS
         }
-        a, b = results["dict"], results["batch"]
-        assert a.coloring == b.coloring
-        assert a.rounds == b.rounds
-        assert a.total_bits == b.total_bits
-        assert a.max_edge_bits == b.max_edge_bits
-        assert a.rounds_by_phase == b.rounds_by_phase
-        assert a.is_valid and b.is_valid
+        a = results["dict"]
+        assert a.is_valid
+        for backend in FAST_BACKENDS:
+            b = results[backend]
+            assert a.coloring == b.coloring, backend
+            assert a.rounds == b.rounds, backend
+            assert a.total_bits == b.total_bits, backend
+            assert a.max_edge_bits == b.max_edge_bits, backend
+            assert a.rounds_by_phase == b.rounds_by_phase, backend
+            assert b.is_valid, backend
 
-    def test_d1lc_identical_across_backends(self):
-        graph = gnp_graph(50, 0.15, seed=9)
+    @pytest.mark.parametrize("family", ["gnp", "geometric", "ring-of-cliques"])
+    def test_d1lc_identical_across_backends(self, family):
+        graph = GRAPH_FAMILIES[family]()
         lists = degree_plus_one_lists(graph, seed=9)
         results = {
             backend: solve_d1lc(graph, lists, seed=4, backend=backend)
             for backend in BACKENDS
         }
-        a, b = results["dict"], results["batch"]
-        assert a.coloring == b.coloring
-        assert (a.rounds, a.total_bits, a.max_edge_bits) == (
-            b.rounds, b.total_bits, b.max_edge_bits
-        )
+        a = results["dict"]
+        for backend in FAST_BACKENDS:
+            b = results[backend]
+            assert a.coloring == b.coloring, backend
+            assert (a.rounds, a.total_bits, a.max_edge_bits) == (
+                b.rounds, b.total_bits, b.max_edge_bits
+            ), backend
 
     def test_johansson_identical_across_backends(self):
         graph = gnp_graph(40, 0.2, seed=2)
@@ -143,9 +203,11 @@ class TestEndToEndEquivalence:
             backend: johansson_coloring(graph, seed=6, backend=backend)
             for backend in BACKENDS
         }
-        a, b = results["dict"], results["batch"]
-        assert a.coloring == b.coloring
-        assert (a.rounds, a.total_bits) == (b.rounds, b.total_bits)
+        a = results["dict"]
+        for backend in FAST_BACKENDS:
+            b = results[backend]
+            assert a.coloring == b.coloring, backend
+            assert (a.rounds, a.total_bits) == (b.rounds, b.total_bits), backend
 
     def test_simulator_identical_across_backends(self):
         from repro.congest import NodeProgram
@@ -169,11 +231,11 @@ class TestEndToEndEquivalence:
             def finish(self, ctx):
                 return ctx.state["best"]
 
-        nets = both_networks(nx.random_regular_graph(3, 12, seed=1))
+        nets = all_networks(nx.random_regular_graph(3, 12, seed=1))
         outputs = []
         for net in nets:
             outputs.append(Simulator(net, FloodMin(), seed=5).run().outputs)
-        assert outputs[0] == outputs[1]
+        assert all(out == outputs[0] for out in outputs[1:])
         assert_identical_ledgers(*nets)
 
 
@@ -213,7 +275,7 @@ class TestLedgerBackends:
 
 
 class TestChunkedAccountingOracle:
-    """Independent oracle: the arithmetic chunked accounting shared by both
+    """Independent oracle: the arithmetic chunked accounting shared by all
     backends must match a literal chunk-by-chunk simulation of the streams
     (the pre-refactor implementation), so a bug in the arithmetic cannot
     hide behind cross-backend agreement."""
