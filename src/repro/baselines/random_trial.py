@@ -36,18 +36,25 @@ def johansson_coloring(
     params: Optional[ColoringParameters] = None,
     backend: str = "batch",
     ledger: str = "records",
+    faults=None,
+    fault_seed: Optional[int] = None,
 ) -> ColoringResult:
     """Color ``graph`` by iterated random color trials.
 
     Returns the same :class:`~repro.core.state.ColoringResult` structure as the
     main solver, so benchmarks can compare rounds and bits directly.
+    ``faults``/``fault_seed`` perturb delivery exactly as in
+    :func:`~repro.core.d1lc.solve_instance`, so robustness head-to-heads
+    stress the baseline and the pipeline identically.
     """
     if lists is None:
         instance = ColoringInstance.d1c(graph)
     else:
         instance = ColoringInstance.d1lc(graph, lists)
     params = (params or ColoringParameters.small()).with_seed(seed)
-    network = Network(graph, mode=mode, backend=backend, ledger=ledger)
+    network = Network(graph, mode=mode, backend=backend, ledger=ledger,
+                      faults=faults,
+                      fault_seed=seed if fault_seed is None else fault_seed)
     state = ColoringState(instance, network, params)
     if max_iterations is None:
         max_iterations = 8 * max(4, graph.number_of_nodes().bit_length() ** 2)

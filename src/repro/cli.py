@@ -12,8 +12,12 @@ be run without writing Python::
     python -m repro.cli suite run smoke --workers 4
     python -m repro.cli suite run scale --backend slot
     python -m repro.cli suite run smoke --profile --out /tmp/prof
+    python -m repro.cli suite run smoke --faults drop=0.01,corrupt=1e-4
+    python -m repro.cli suite run robustness --workers 4
+    python -m repro.cli suite run smoke --seed 7 --out /tmp/reseeded
     python -m repro.cli suite compare --baseline BENCH_suite.json
     python -m repro.cli suite compare --baseline BENCH_suite.json --timing-budget 50
+    python -m repro.cli suite compare --baseline BENCH_robustness.json
 
 Each subcommand prints a plain-text table of the measurements the paper's
 statements are about (rounds, bandwidth, validity, detection quality).  The
@@ -125,6 +129,37 @@ def cmd_triangles(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_faults(text: str) -> dict:
+    """Parse ``drop=0.01,corrupt=1e-4,throttle=0.5`` into a fault params dict.
+
+    The CLI covers the numeric fault axes; crash schedules and per-edge
+    delays are structured mappings and stay spec-level (see
+    :class:`repro.faults.FaultPlan`).  Key validation happens in
+    ``FaultPlan.from_params`` so typos get the canonical error message.
+    """
+    params: dict = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, sep, value = part.partition("=")
+        if not sep:
+            raise SystemExit(
+                f"--faults expects comma-separated key=value pairs, got {part!r}"
+            )
+        try:
+            params[key.strip()] = float(value)
+        except ValueError:
+            raise SystemExit(f"--faults {key.strip()}: not a number: {value!r}")
+    from repro.faults import FaultPlan
+
+    try:
+        FaultPlan.from_params(params)
+    except (TypeError, ValueError) as exc:
+        raise SystemExit(f"--faults: {exc}")
+    return params
+
+
 def _suite_summary_rows(summary: dict, timing: Optional[dict] = None) -> List[dict]:
     rows = []
     scenario_timing = (timing or {}).get("scenarios", {})
@@ -138,6 +173,15 @@ def _suite_summary_rows(summary: dict, timing: Optional[dict] = None) -> List[di
             "bits/edge (mean)": metrics.get("bits_per_edge", {}).get("mean", "-"),
             "colors (mean)": metrics.get("colors_used", {}).get("mean", "-"),
         }
+        if "faults" in entry:
+            # Scalar axes print as k=v; schedule axes (crash/delay) print
+            # their key alone — every configured axis stays visible.
+            row["faults"] = ",".join(
+                k if isinstance(v, dict) else f"{k}={v}"
+                for k, v in sorted(entry["faults"].items())
+            )
+            row["dropped (mean)"] = metrics.get(
+                "dropped_messages", {}).get("mean", "-")
         if name in scenario_timing:
             row["wall s"] = scenario_timing[name]
         rows.append(row)
@@ -180,10 +224,12 @@ def cmd_suite_run(args: argparse.Namespace) -> int:
     profile_dir = out_dir if args.profile else None
     if args.profile and args.workers > 1:
         print("profiling forces serial execution; ignoring --workers")
+    faults = _parse_faults(args.faults) if args.faults else None
     result = run_suite(
         args.suite, workers=args.workers, backend=args.backend,
         trials=args.trials, progress=progress if args.verbose else None,
-        only=args.only, profile_dir=profile_dir,
+        only=args.only, profile_dir=profile_dir, seed=args.seed,
+        faults=faults,
     )
     summary = aggregate_suite(result)
     timing = timing_summary(result)
@@ -208,7 +254,25 @@ def cmd_suite_run(args: argparse.Namespace) -> int:
             profile_filename(s.spec.name) for s in result.scenarios
         )
         print(f"profiles: {profiles}")
-    invalid = [s.spec.name for s in result.scenarios if s.valid_trials < len(s.rows)]
+    if args.seed is not None:
+        print(f"seed override {args.seed} recorded in the aggregate "
+              "(suite compare refuses baselines with a different seed)")
+    # Invalid trials under an active fault plan are an *observation* — that
+    # is the robustness measurement, gated by `suite compare` against the
+    # committed baseline — so only effectively-clean scenarios fail the run
+    # (an all-default plan like drop=0.0 runs unwrapped and gates normally).
+    from repro.faults import FaultPlan
+
+    def _perturbed(spec):
+        return bool(spec.faults) and FaultPlan.coerce(spec.faults) is not None
+
+    invalid = [s.spec.name for s in result.scenarios
+               if s.valid_trials < len(s.rows) and not _perturbed(s.spec)]
+    invalid_faulted = [s.spec.name for s in result.scenarios
+                       if s.valid_trials < len(s.rows) and _perturbed(s.spec)]
+    if invalid_faulted:
+        print(f"invalid under faults (expected; gate via suite compare): "
+              f"{', '.join(invalid_faulted)}")
     if invalid:
         print(f"INVALID scenarios: {', '.join(invalid)}")
         return 1
@@ -236,7 +300,11 @@ def cmd_suite_compare(args: argparse.Namespace) -> int:
     else:
         suite = args.suite or baseline.get("suite")
         print(f"running suite '{suite}' fresh (workers={args.workers}) ...")
-        result = run_suite(suite, workers=args.workers, backend=args.backend)
+        result = run_suite(
+            suite, workers=args.workers, backend=args.backend,
+            seed=args.seed,
+            faults=_parse_faults(args.faults) if args.faults else None,
+        )
         fresh = aggregate_suite(result)
         fresh_timing = timing_summary(result)
     findings = compare_summaries(baseline, fresh,
@@ -335,6 +403,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes (results are identical for any count)")
         p.add_argument("--backend", choices=["batch", "dict", "slot"], default=None,
                        help="override every scenario's transport backend")
+        p.add_argument("--seed", type=int, default=None,
+                       help="override every scenario's base seed; recorded in "
+                            "the aggregate, and suite compare refuses to diff "
+                            "against a baseline with a different seed")
+        p.add_argument("--faults", default=None, metavar="K=V[,K=V...]",
+                       help="deterministic fault plan applied to every "
+                            "scenario, e.g. drop=0.01,corrupt=1e-4,"
+                            "throttle=0.5 (message-drop probability, per-bit "
+                            "corruption probability, bandwidth factor); crash "
+                            "schedules and per-edge delays are spec-level "
+                            "knobs — see the robustness suite")
 
     s_run = suite_sub.add_parser("run", help="run a suite and write artifacts")
     s_run.add_argument("suite", help="suite name (see 'repro suite list')")

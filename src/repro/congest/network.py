@@ -75,6 +75,17 @@ class Network:
     ledger:
         Ledger kind (``"records"`` / ``"counters"``) or a
         :class:`~repro.metrics.ledger.Ledger` instance to share.
+    faults:
+        Optional :class:`~repro.faults.plan.FaultPlan` (or a params mapping
+        like ``{"drop": 0.01}``) that deterministically perturbs delivery —
+        see :mod:`repro.faults`.  ``None`` or an all-default plan leaves the
+        transport unwrapped, byte-identical to a fault-free network.  The
+        plan's ``throttle`` factor scales the bandwidth budget (and
+        :attr:`bandwidth_bits` reports the throttled value).
+    fault_seed:
+        Seed for the fault layer's RNG; combined with the plan through the
+        repo-wide ``derive_seed`` chain so a fixed (seed, plan) pair
+        reproduces byte-identically across backends and processes.
     """
 
     def __init__(
@@ -85,12 +96,22 @@ class Network:
         bandwidth_factor: float = 32.0,
         backend: str = DEFAULT_BACKEND,
         ledger: Any = None,
+        faults: Any = None,
+        fault_seed: int = 0,
     ):
         if mode not in ("congest", "local"):
             raise ValueError(f"unknown mode: {mode!r}")
         self.graph = graph
         self.bandwidth_factor = float(bandwidth_factor)
         if isinstance(backend, Transport):
+            if faults is not None:
+                from repro.faults.plan import FaultPlan
+
+                if FaultPlan.coerce(faults) is not None:
+                    raise ValueError(
+                        "faults= conflicts with an already-built transport "
+                        "instance; wrap it via make_transport(faults=...) first"
+                    )
             # Adopt the instance's wiring wholesale: the facade's views and
             # accounting must describe the transport that actually runs, not
             # freshly-built ones it would silently bypass.  Conflicting
@@ -134,11 +155,14 @@ class Network:
             n = max(self.topology.number_of_nodes, 2)
             if bandwidth_bits is None:
                 bandwidth_bits = int(math.ceil(bandwidth_factor * math.log2(n)))
-            self.bandwidth_bits = int(bandwidth_bits)
             self.ledger = make_ledger(ledger)
             self.transport = make_transport(
-                backend, self.topology, self.mode, self.bandwidth_bits, self.ledger
+                backend, self.topology, self.mode, int(bandwidth_bits),
+                self.ledger, faults=faults, fault_seed=fault_seed,
             )
+            # The transport owns the effective budget: a fault plan's
+            # throttle factor may have scaled it at construction.
+            self.bandwidth_bits = self.transport.bandwidth_bits
         self.backend = self.transport.name
 
     # ------------------------------------------------------------------ views
@@ -257,9 +281,15 @@ class Network:
         self.transport.charge_silent_round(label=label)
 
     # -------------------------------------------------------------- reporting
+    @property
+    def fault_stats(self) -> Optional[Dict[str, int]]:
+        """Fault-layer outcome counters, or ``None`` on a fault-free network."""
+        stats = getattr(self.transport, "fault_stats", None)
+        return None if stats is None else stats.as_dict()
+
     def summary(self) -> Dict[str, Any]:
         """Return a compact dictionary describing resource usage so far."""
-        return {
+        summary = {
             "mode": self.mode,
             "backend": self.backend,
             "nodes": self.number_of_nodes,
@@ -270,6 +300,11 @@ class Network:
             "total_messages": self.ledger.total_messages,
             "max_edge_bits": self.ledger.max_edge_bits,
         }
+        plan = getattr(self.transport, "fault_plan", None)
+        if plan is not None:
+            summary["faults"] = plan.canonical()
+            summary.update(self.fault_stats or {})
+        return summary
 
     def __repr__(self) -> str:  # pragma: no cover - debugging convenience
         return (

@@ -112,8 +112,39 @@ class Simulator:
         ctx.round_index = self._round_index
         return ctx
 
+    def _apply_crashes(self) -> None:
+        """Halt nodes the network's fault plan crashes before this round.
+
+        Crash rounds are counted on the ledger's clock — the same clock the
+        fault transport uses to suppress the crashed nodes' messages — so a
+        node scheduled to crash "at round r" neither steps nor communicates
+        from the r-th recorded round on.  Halting is final, exactly like a
+        voluntary halt; the node's mail stops being collected and its output
+        is whatever it had computed so far.
+        """
+        plan = getattr(self.network.transport, "fault_plan", None)
+        if plan is None or not plan.crash:
+            return
+        crashed = plan.crashed_by(self.network.ledger.rounds)
+        if not crashed:
+            return
+        state_list = self._state_list
+        slot_of = self._slot_of
+        changed = False
+        for v in crashed:
+            i = slot_of.get(v)
+            if i is not None and not state_list[i].halted:
+                state_list[i].halted = True
+                changed = True
+        if changed:
+            self._active = [i for i in self._active if not state_list[i].halted]
+
     def step(self, label: Optional[str] = None) -> bool:
         """Execute one synchronous round.  Returns True if any node is active."""
+        active = self._active
+        if not active:
+            return False
+        self._apply_crashes()
         active = self._active
         if not active:
             return False

@@ -472,9 +472,33 @@ TRANSPORT_BACKENDS: Tuple[str, ...] = tuple(sorted(_TRANSPORT_KINDS))
 
 
 def make_transport(backend, topology: Topology, mode: str, bandwidth_bits: int,
-                   ledger: Ledger) -> Transport:
-    """Build a transport from a backend name (``"dict"`` / ``"batch"`` / ``"slot"``)."""
+                   ledger: Ledger, faults=None, fault_seed: int = 0) -> Transport:
+    """Build a transport from a backend name (``"dict"`` / ``"batch"`` / ``"slot"``).
+
+    ``faults`` optionally wraps the backend in a
+    :class:`~repro.faults.transport.FaultyTransport` driven by a
+    :class:`~repro.faults.plan.FaultPlan` (or a plain params mapping) and
+    ``fault_seed``.  The plan's bandwidth throttle is applied to the budget
+    *here*, at the single construction point, so every caller sees the
+    throttled budget.  A ``None``/no-op plan changes nothing: the bare
+    backend instance is returned, keeping fault-free runs byte-identical.
+    """
+    # Imported lazily: repro.faults depends on this module for the Transport
+    # base class, so a module-level import would be circular.
+    from repro.faults.plan import FaultPlan
+
+    plan = FaultPlan.coerce(faults)
     if isinstance(backend, Transport):
+        if plan is not None:
+            if plan.throttle != 1.0:
+                raise ValueError(
+                    "a throttled FaultPlan needs make_transport to build the "
+                    "backend itself (pass a backend name, not an instance), "
+                    "so the budget is scaled before construction"
+                )
+            from repro.faults.transport import FaultyTransport
+
+            return FaultyTransport(backend, plan, seed=fault_seed)
         return backend
     try:
         cls = _TRANSPORT_KINDS[backend]
@@ -483,4 +507,9 @@ def make_transport(backend, topology: Topology, mode: str, bandwidth_bits: int,
             f"unknown transport backend: {backend!r} "
             f"(expected one of {list(TRANSPORT_BACKENDS)})"
         ) from None
-    return cls(topology, mode, bandwidth_bits, ledger)
+    if plan is None:
+        return cls(topology, mode, bandwidth_bits, ledger)
+    from repro.faults.transport import FaultyTransport
+
+    inner = cls(topology, mode, plan.throttled_bandwidth(bandwidth_bits), ledger)
+    return FaultyTransport(inner, plan, seed=fault_seed)

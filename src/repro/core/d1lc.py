@@ -54,6 +54,7 @@ def _build_result(state: ColoringState, fallback_count: int) -> ColoringResult:
         fallback_nodes=fallback_count,
         parameters=state.params,
         mode=network.mode,
+        fault_stats=network.fault_stats,
     )
 
 
@@ -65,12 +66,21 @@ def solve_instance(
     seed: Optional[int] = None,
     backend: str = "batch",
     ledger: str = "records",
+    faults=None,
+    fault_seed: Optional[int] = None,
 ) -> ColoringResult:
     """Run the full D1LC pipeline on a prepared instance.
 
     ``backend`` selects the transport engine (``"batch"`` / ``"dict"``) and
     ``ledger`` the accounting depth (``"records"`` / ``"counters"``); both
     choices change performance only, never the reported rounds or bits.
+
+    ``faults`` optionally perturbs delivery with a deterministic
+    :class:`~repro.faults.plan.FaultPlan` (or a ``{"drop": 0.01}``-style
+    mapping); ``fault_seed`` defaults to the solver seed so a fixed
+    (seed, plan) pair reproduces byte-identically on every backend.  The
+    resulting :class:`ColoringResult` then carries ``fault_stats`` and its
+    validity reports how the coloring held up *under* the faults.
     """
     params = params or ColoringParameters.small()
     if seed is not None:
@@ -81,6 +91,8 @@ def solve_instance(
         bandwidth_bits=bandwidth_bits,
         backend=backend,
         ledger=ledger,
+        faults=faults,
+        fault_seed=params.seed if fault_seed is None else fault_seed,
     )
     state = ColoringState(instance, network, params)
 
@@ -112,6 +124,8 @@ def solve_d1lc(
     color_space: Optional[ColorSpace] = None,
     backend: str = "batch",
     ledger: str = "records",
+    faults=None,
+    fault_seed: Optional[int] = None,
 ) -> ColoringResult:
     """Solve (degree+1)-list-coloring on ``graph`` (Theorem 1).
 
@@ -126,7 +140,8 @@ def solve_d1lc(
         instance = ColoringInstance.d1lc(graph, lists, color_space=color_space)
     return solve_instance(
         instance, params=params, mode=mode, bandwidth_bits=bandwidth_bits,
-        seed=seed, backend=backend, ledger=ledger,
+        seed=seed, backend=backend, ledger=ledger, faults=faults,
+        fault_seed=fault_seed,
     )
 
 
@@ -138,11 +153,14 @@ def solve_d1c(
     seed: Optional[int] = None,
     backend: str = "batch",
     ledger: str = "records",
+    faults=None,
+    fault_seed: Optional[int] = None,
 ) -> ColoringResult:
     """Solve (deg+1)-coloring (Corollary 1)."""
     return solve_instance(
         ColoringInstance.d1c(graph), params=params, mode=mode,
-        bandwidth_bits=bandwidth_bits, seed=seed, backend=backend, ledger=ledger,
+        bandwidth_bits=bandwidth_bits, seed=seed, backend=backend,
+        ledger=ledger, faults=faults, fault_seed=fault_seed,
     )
 
 
@@ -154,9 +172,12 @@ def solve_delta_plus_one(
     seed: Optional[int] = None,
     backend: str = "batch",
     ledger: str = "records",
+    faults=None,
+    fault_seed: Optional[int] = None,
 ) -> ColoringResult:
     """Solve (Δ+1)-coloring with the same pipeline."""
     return solve_instance(
         ColoringInstance.delta_plus_one(graph), params=params, mode=mode,
-        bandwidth_bits=bandwidth_bits, seed=seed, backend=backend, ledger=ledger,
+        bandwidth_bits=bandwidth_bits, seed=seed, backend=backend,
+        ledger=ledger, faults=faults, fault_seed=fault_seed,
     )

@@ -113,6 +113,9 @@ class ColoringResult:
     fallback_nodes: int
     parameters: ColoringParameters
     mode: str
+    #: Fault-layer counters (delivered/dropped/corrupted messages, crashed
+    #: nodes) when the run was perturbed; ``None`` on a fault-free network.
+    fault_stats: Optional[Dict[str, int]] = None
 
     @property
     def is_valid(self) -> bool:

@@ -36,8 +36,11 @@ from repro.experiments.compare import (
     gate_passes,
 )
 from repro.experiments.registry import (
+    FAMILY_PARAM_KEYS,
     GRAPH_FAMILIES,
+    SOLVER_PARAM_KEYS,
     SOLVERS,
+    check_spec_params,
     get_suite,
     suite_names,
     validate_spec,
@@ -56,14 +59,17 @@ __all__ = [
     "ScenarioSpec",
     "ScenarioResult",
     "SuiteResult",
+    "FAMILY_PARAM_KEYS",
     "Finding",
     "GRAPH_FAMILIES",
+    "SOLVER_PARAM_KEYS",
     "SOLVERS",
     "SUITE_FILENAME",
     "TIMING_FILENAME",
     "TRIALS_FILENAME",
     "aggregate_suite",
     "canonical_dumps",
+    "check_spec_params",
     "compare_summaries",
     "compare_timing",
     "derive_seed",

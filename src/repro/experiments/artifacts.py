@@ -42,7 +42,15 @@ def canonical_dumps(payload: object) -> str:
 
 
 def aggregate_suite(result: SuiteResult) -> Dict[str, object]:
-    """Reduce a suite run to its deterministic aggregate snapshot."""
+    """Reduce a suite run to its deterministic aggregate snapshot.
+
+    Faulted scenarios additionally record their canonical fault plan (the
+    same encoding that feeds the fault RNG), and a run launched with a
+    ``--seed`` override records it at the top level — both so ``suite
+    compare`` can refuse to diff runs of genuinely different workloads.
+    Fault-free, non-overridden runs keep the historical schema byte for
+    byte.
+    """
     scenarios: Dict[str, object] = {}
     for scenario in result.scenarios:
         spec = scenario.spec
@@ -56,8 +64,23 @@ def aggregate_suite(result: SuiteResult) -> Dict[str, object]:
         }
         if spec.tags:
             entry["tags"] = sorted(spec.tags)
+        if spec.faults:
+            from repro.faults import FaultPlan
+
+            # Coerce, don't just encode: an all-default mapping (e.g. the
+            # drop=0.0 endpoint of a sweep) runs unwrapped and must produce
+            # an aggregate byte-identical to its clean twin's.
+            plan = FaultPlan.coerce(spec.faults)
+            if plan is not None:
+                entry["faults"] = plan.canonical()
         scenarios[spec.name] = entry
-    return {"schema": SCHEMA, "suite": result.suite, "scenarios": scenarios}
+    summary: Dict[str, object] = {
+        "schema": SCHEMA, "suite": result.suite, "scenarios": scenarios,
+    }
+    seed_override = getattr(result, "seed_override", None)
+    if seed_override is not None:
+        summary["seed_override"] = seed_override
+    return summary
 
 
 def timing_summary(result: SuiteResult) -> Dict[str, object]:

@@ -69,6 +69,14 @@ def compare_summaries(
             f"suite mismatch: baseline={baseline.get('suite')!r} fresh={fresh.get('suite')!r}",
         ))
         return findings
+    if baseline.get("seed_override") != fresh.get("seed_override"):
+        findings.append(Finding(
+            "fail", "-", "seed",
+            f"seed override mismatch: baseline={baseline.get('seed_override')!r} "
+            f"fresh={fresh.get('seed_override')!r} — the runs sampled "
+            "different workloads; re-run with the baseline's --seed",
+        ))
+        return findings
 
     base_scenarios: Mapping[str, Mapping] = baseline.get("scenarios", {})
     fresh_scenarios: Mapping[str, Mapping] = fresh.get("scenarios", {})
@@ -94,6 +102,14 @@ def _compare_scenario(
     max_regression: float,
 ) -> List[Finding]:
     findings: List[Finding] = []
+    if base.get("faults") != fresh.get("faults"):
+        findings.append(Finding(
+            "fail", name, "faults",
+            f"fault plan changed: {base.get('faults')} -> {fresh.get('faults')} "
+            "(a faulted run must not gate against a differently-faulted "
+            "baseline)",
+        ))
+        return findings
     if base.get("trials") != fresh.get("trials"):
         findings.append(Finding(
             "fail", name, "trials",

@@ -11,12 +11,15 @@ executable trial:
   schema so suites can be aggregated and diffed uniformly.
 * ``SUITES`` — the named scenario collections the CLI exposes
   (``smoke``, ``coloring``, ``bandwidth``, ``detection``, ``scaling``,
-  ``scale``).  The suites absorb the workloads of the historical ``bench_e*``
-  scripts — scenarios tagged ``e09``/``e11``/``e12``/``e16`` are the exact
-  points those benchmarks now resolve via :func:`get_suite`.  ``scale`` is
-  the large-n workload (n = 2 000 / 10 000 / 50 000) unlocked by the slot
-  transport and the slot-indexed simulation core; it runs single trials on
-  the ``counters`` ledger so wall-clock and memory stay bounded.
+  ``scale``, ``robustness``).  The suites absorb the workloads of the
+  historical ``bench_e*`` scripts — scenarios tagged
+  ``e09``/``e11``/``e12``/``e16`` are the exact points those benchmarks now
+  resolve via :func:`get_suite`.  ``scale`` is the large-n workload
+  (n = 2 000 / 10 000 / 50 000) unlocked by the slot transport and the
+  slot-indexed simulation core; it runs single trials on the ``counters``
+  ledger so wall-clock and memory stay bounded.  ``robustness`` sweeps the
+  fault-intensity axis (:mod:`repro.faults`): drop/corruption rates, node
+  crashes and bandwidth throttling across d1lc/d1c on three families.
 """
 
 from __future__ import annotations
@@ -119,6 +122,30 @@ GRAPH_FAMILIES: Dict[str, GraphBuilder] = {
     "four_cycle_rich": _four_cycle_rich,
 }
 
+#: Accepted ``family_params`` keys per family.  A key outside this set is a
+#: typo: it would silently change the graph-seed derivation (every key feeds
+#: ``canonical_params``) while the builder ignored or rejected it only at
+#: run time — so :func:`check_spec_params` rejects it at spec construction.
+FAMILY_PARAM_KEYS: Dict[str, frozenset] = {
+    "gnp": frozenset({"n", "p"}),
+    "gnp_avg_degree": frozenset({"n", "avg_degree"}),
+    "power_law": frozenset({"n", "attachment", "triangle_prob"}),
+    "random_regular": frozenset({"n", "degree"}),
+    "random_geometric": frozenset({"n", "radius"}),
+    "ring_of_cliques": frozenset({"num_cliques", "clique_size"}),
+    "locally_sparse": frozenset({"n", "degree"}),
+    "planted_almost_cliques": frozenset({
+        "num_cliques", "clique_size", "dropout", "num_sparse",
+        "sparse_degree", "cross_edges",
+    }),
+    "triangle_rich": frozenset({
+        "n", "background_p", "planted_cliques", "clique_size",
+    }),
+    "four_cycle_rich": frozenset({
+        "n", "background_p", "planted_blocks", "side_size",
+    }),
+}
+
 
 # --------------------------------------------------------------------------- #
 # Solvers
@@ -138,7 +165,7 @@ def _coloring_fingerprint(coloring: Mapping) -> str:
 
 def _coloring_metrics(result: ColoringResult, graph: nx.Graph) -> Dict[str, object]:
     edges = max(1, graph.number_of_edges())
-    return {
+    metrics = {
         "valid": bool(result.is_valid),
         "rounds": result.rounds,
         "randomized_rounds": result.randomized_rounds,
@@ -150,6 +177,29 @@ def _coloring_metrics(result: ColoringResult, graph: nx.Graph) -> Dict[str, obje
         "colors_used": len({c for c in result.coloring.values() if c is not None}),
         "coloring_sha": _coloring_fingerprint(result.coloring),
     }
+    # Faulted runs report the perturbation outcome next to the workload
+    # metrics; "valid" is then validity *under* the faults.  Fault-free rows
+    # keep their historical schema (the committed baselines pin its bytes).
+    if result.fault_stats is not None:
+        metrics.update(result.fault_stats)
+    return metrics
+
+
+def _fault_kwargs(spec: ScenarioSpec, seed: int) -> Dict[str, object]:
+    """The ``faults=``/``fault_seed=`` kwargs of one trial (empty when clean).
+
+    The fault RNG is rooted at the trial's *solver seed*: deterministic per
+    trial, identical across backends/ledgers/worker counts, and varying
+    trial to trial so a multi-trial scenario samples fresh perturbations.
+    """
+    if not spec.faults:
+        return {}
+    return {"faults": spec.faults, "fault_seed": seed}
+
+
+def _network_fault_stats(network: Network) -> Dict[str, object]:
+    """Fault counters of a directly-built network (empty when fault-free)."""
+    return dict(network.fault_stats or {})
 
 
 def _build_lists(spec: ScenarioSpec, graph: nx.Graph, seed: int):
@@ -177,7 +227,8 @@ def _solver_params(spec: ScenarioSpec, seed: int) -> ColoringParameters:
 def _solve_d1c(spec: ScenarioSpec, graph: nx.Graph, truth, seed: int):
     result = solve_d1c(
         graph, params=_solver_params(spec, seed), mode=spec.mode,
-        bandwidth_bits=spec.bandwidth_bits, backend=spec.backend, ledger=spec.ledger,
+        bandwidth_bits=spec.bandwidth_bits, backend=spec.backend,
+        ledger=spec.ledger, **_fault_kwargs(spec, seed),
     )
     return _coloring_metrics(result, graph)
 
@@ -186,7 +237,8 @@ def _solve_d1lc(spec: ScenarioSpec, graph: nx.Graph, truth, seed: int):
     lists = _build_lists(spec, graph, seed)
     result = solve_d1lc(
         graph, lists, params=_solver_params(spec, seed), mode=spec.mode,
-        bandwidth_bits=spec.bandwidth_bits, backend=spec.backend, ledger=spec.ledger,
+        bandwidth_bits=spec.bandwidth_bits, backend=spec.backend,
+        ledger=spec.ledger, **_fault_kwargs(spec, seed),
     )
     return _coloring_metrics(result, graph)
 
@@ -194,14 +246,16 @@ def _solve_d1lc(spec: ScenarioSpec, graph: nx.Graph, truth, seed: int):
 def _solve_delta_plus_one(spec: ScenarioSpec, graph: nx.Graph, truth, seed: int):
     result = solve_delta_plus_one(
         graph, params=_solver_params(spec, seed), mode=spec.mode,
-        bandwidth_bits=spec.bandwidth_bits, backend=spec.backend, ledger=spec.ledger,
+        bandwidth_bits=spec.bandwidth_bits, backend=spec.backend,
+        ledger=spec.ledger, **_fault_kwargs(spec, seed),
     )
     return _coloring_metrics(result, graph)
 
 
 def _solve_johansson(spec: ScenarioSpec, graph: nx.Graph, truth, seed: int):
     result = johansson_coloring(
-        graph, mode=spec.mode, seed=seed, backend=spec.backend, ledger=spec.ledger,
+        graph, mode=spec.mode, seed=seed, backend=spec.backend,
+        ledger=spec.ledger, **_fault_kwargs(spec, seed),
     )
     return _coloring_metrics(result, graph)
 
@@ -209,7 +263,7 @@ def _solve_johansson(spec: ScenarioSpec, graph: nx.Graph, truth, seed: int):
 def _solve_acd(spec: ScenarioSpec, graph: nx.Graph, truth, seed: int):
     network = Network(
         graph, mode=spec.mode, bandwidth_bits=spec.bandwidth_bits,
-        backend=spec.backend, ledger=spec.ledger,
+        backend=spec.backend, ledger=spec.ledger, **_fault_kwargs(spec, seed),
     )
     params = ColoringParameters.small(seed=seed)
     variant = spec.solver_params.get("variant", "hashed")
@@ -231,6 +285,7 @@ def _solve_acd(spec: ScenarioSpec, graph: nx.Graph, truth, seed: int):
     metrics.update(acd.partition_summary())
     if truth is not None and hasattr(truth, "cliques"):
         metrics["planted_cliques"] = len(truth.cliques)
+    metrics.update(_network_fault_stats(network))
     return metrics
 
 
@@ -244,7 +299,7 @@ def _solve_multitrial(spec: ScenarioSpec, graph: nx.Graph, truth, seed: int):
     instance = ColoringInstance.d1lc(graph, lists)
     network = Network(
         graph, mode=spec.mode, bandwidth_bits=spec.bandwidth_bits,
-        backend=spec.backend, ledger=spec.ledger,
+        backend=spec.backend, ledger=spec.ledger, **_fault_kwargs(spec, seed),
     )
     state = ColoringState(instance, network, ColoringParameters.small(seed=seed))
     if variant == "hashed":
@@ -258,7 +313,7 @@ def _solve_multitrial(spec: ScenarioSpec, graph: nx.Graph, truth, seed: int):
         if state.colors.get(u) is not None and state.colors.get(u) == state.colors.get(v)
     )
     edges = max(1, graph.number_of_edges())
-    return {
+    metrics = {
         "valid": conflicts == 0,
         "rounds": network.ledger.rounds,
         "colored": len(colored),
@@ -268,12 +323,14 @@ def _solve_multitrial(spec: ScenarioSpec, graph: nx.Graph, truth, seed: int):
         "max_edge_bits": network.ledger.max_edge_bits,
         "bandwidth_bits": network.bandwidth_bits,
     }
+    metrics.update(_network_fault_stats(network))
+    return metrics
 
 
 def _solve_triangles(spec: ScenarioSpec, graph: nx.Graph, truth, seed: int):
     network = Network(
         graph, mode=spec.mode, bandwidth_bits=spec.bandwidth_bits,
-        backend=spec.backend, ledger=spec.ledger,
+        backend=spec.backend, ledger=spec.ledger, **_fault_kwargs(spec, seed),
     )
     eps = float(spec.solver_params.get("eps", 0.3))
     result = detect_triangle_rich_edges(network, eps=eps, seed=seed)
@@ -294,17 +351,18 @@ def _solve_triangles(spec: ScenarioSpec, graph: nx.Graph, truth, seed: int):
             flagged_rich += int(result.is_flagged(u, v))
     metrics["rich_edges"] = rich
     metrics["rich_edges_flagged"] = flagged_rich
+    metrics.update(_network_fault_stats(network))
     return metrics
 
 
 def _solve_four_cycles(spec: ScenarioSpec, graph: nx.Graph, truth, seed: int):
     network = Network(
         graph, mode=spec.mode, bandwidth_bits=spec.bandwidth_bits,
-        backend=spec.backend, ledger=spec.ledger,
+        backend=spec.backend, ledger=spec.ledger, **_fault_kwargs(spec, seed),
     )
     eps = float(spec.solver_params.get("eps", 0.3))
     result = detect_four_cycle_rich_pairs(network, eps=eps, seed=seed)
-    return {
+    metrics = {
         "valid": True,
         "rounds": result.rounds_used,
         "threshold": round(result.threshold, 4),
@@ -312,6 +370,8 @@ def _solve_four_cycles(spec: ScenarioSpec, graph: nx.Graph, truth, seed: int):
         "total_bits": network.ledger.total_bits,
         "max_edge_bits": network.ledger.max_edge_bits,
     }
+    metrics.update(_network_fault_stats(network))
+    return metrics
 
 
 SOLVERS: Dict[str, Solver] = {
@@ -324,6 +384,55 @@ SOLVERS: Dict[str, Solver] = {
     "triangles": _solve_triangles,
     "four_cycles": _solve_four_cycles,
 }
+
+#: Accepted ``solver_params`` keys per solver (see FAMILY_PARAM_KEYS).
+SOLVER_PARAM_KEYS: Dict[str, frozenset] = {
+    "d1c": frozenset({"uniform"}),
+    "d1lc": frozenset({"uniform", "lists", "extra", "color_bits"}),
+    "delta_plus_one": frozenset({"uniform"}),
+    "johansson": frozenset(),
+    "acd": frozenset({"variant"}),
+    "multitrial": frozenset({"tries", "variant", "extra_factor"}),
+    "triangles": frozenset({"eps"}),
+    "four_cycles": frozenset({"eps"}),
+}
+
+
+def check_spec_params(spec: ScenarioSpec) -> None:
+    """Reject unknown/typo'd parameter keys (called at spec construction).
+
+    Every ``family_params``/``solver_params`` key feeds the canonical JSON
+    that derives trial seeds, so a misspelled key used to silently shift the
+    whole scenario onto different graphs while the builder ignored it.
+    Unknown *families/solvers* are still :func:`validate_spec`'s job — their
+    key sets are unknowable here — and fault params are validated by
+    building the :class:`~repro.faults.FaultPlan` they describe.
+    """
+    family_keys = FAMILY_PARAM_KEYS.get(spec.family)
+    if family_keys is not None:
+        unknown = sorted(set(spec.family_params) - family_keys)
+        if unknown:
+            raise ValueError(
+                f"{spec.name or '<scenario>'}: unknown family_params key(s) "
+                f"{unknown} for family {spec.family!r} "
+                f"(allowed: {sorted(family_keys)})"
+            )
+    solver_keys = SOLVER_PARAM_KEYS.get(spec.solver)
+    if solver_keys is not None:
+        unknown = sorted(set(spec.solver_params) - solver_keys)
+        if unknown:
+            raise ValueError(
+                f"{spec.name or '<scenario>'}: unknown solver_params key(s) "
+                f"{unknown} for solver {spec.solver!r} "
+                f"(allowed: {sorted(solver_keys)})"
+            )
+    if spec.faults:
+        from repro.faults import FaultPlan
+
+        try:
+            FaultPlan.from_params(spec.faults)
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"{spec.name or '<scenario>'}: {exc}") from None
 
 
 # --------------------------------------------------------------------------- #
@@ -496,6 +605,57 @@ def _scale_suite() -> List[ScenarioSpec]:
     ]
 
 
+def _robustness_suite() -> List[ScenarioSpec]:
+    """Fault-intensity sweeps: the paper's algorithms under a broken network.
+
+    Message-drop and bit-corruption rates × {d1lc, d1c} on three graph
+    families, plus crash and sub-``log n`` throttle points and one clean
+    reference scenario.  The committed ``BENCH_robustness.json`` baseline
+    pins every outcome — validity under faults *and* the exact
+    delivered/dropped/corrupted/crash counters — because the fault layer is
+    deterministic per (seed, plan).
+    """
+    specs: List[ScenarioSpec] = [
+        ScenarioSpec("gnp-d1c-clean", "gnp", "d1c",
+                     family_params={"n": 60, "p": 0.12}, trials=2,
+                     tags=("robustness", "clean")),
+    ]
+    drop_points = [
+        ("gnp-d1c", "gnp", "d1c", {"n": 60, "p": 0.12}),
+        ("powerlaw-d1lc", "power_law", "d1lc", {"n": 60, "attachment": 4}),
+        ("geometric-d1lc", "random_geometric", "d1lc", {"n": 70, "radius": 0.2}),
+    ]
+    for drop in (0.02, 0.1):
+        for prefix, family, solver, family_params in drop_points:
+            specs.append(ScenarioSpec(
+                f"{prefix}-drop{int(drop * 100)}", family, solver,
+                family_params=family_params, faults={"drop": drop}, trials=2,
+                tags=("robustness", "drop"),
+            ))
+    corrupt_points = [
+        ("gnp-d1lc", "gnp", "d1lc", {"n": 60, "p": 0.12}),
+        ("powerlaw-d1c", "power_law", "d1c", {"n": 60, "attachment": 4}),
+    ]
+    for corrupt, label in ((1e-3, "1e3"), (1e-2, "1e2")):
+        for prefix, family, solver, family_params in corrupt_points:
+            specs.append(ScenarioSpec(
+                f"{prefix}-corrupt{label}", family, solver,
+                family_params=family_params, faults={"corrupt": corrupt},
+                trials=2, tags=("robustness", "corrupt"),
+            ))
+    specs.extend([
+        ScenarioSpec("gnp-d1c-crash", "gnp", "d1c",
+                     family_params={"n": 60, "p": 0.12},
+                     faults={"crash": {2: (0, 1, 2), 6: (3, 4)}}, trials=2,
+                     tags=("robustness", "crash")),
+        ScenarioSpec("geometric-d1c-throttle", "random_geometric", "d1c",
+                     family_params={"n": 70, "radius": 0.2},
+                     faults={"throttle": 0.25}, trials=2,
+                     tags=("robustness", "throttle")),
+    ])
+    return specs
+
+
 _SUITE_BUILDERS: Dict[str, Callable[[], List[ScenarioSpec]]] = {
     "smoke": _smoke_suite,
     "coloring": _coloring_suite,
@@ -503,6 +663,7 @@ _SUITE_BUILDERS: Dict[str, Callable[[], List[ScenarioSpec]]] = {
     "detection": _detection_suite,
     "scaling": _scaling_suite,
     "scale": _scale_suite,
+    "robustness": _robustness_suite,
 }
 
 
@@ -552,3 +713,6 @@ def validate_spec(spec: ScenarioSpec) -> None:
         raise ValueError(f"{spec.name}: trials must be >= 1")
     if spec.bandwidth_bits is not None and int(spec.bandwidth_bits) < 1:
         raise ValueError(f"{spec.name}: bandwidth_bits must be >= 1 or None")
+    # Param-key validation normally runs at construction; re-check here so
+    # specs deserialized or built around __post_init__ cannot slip through.
+    check_spec_params(spec)

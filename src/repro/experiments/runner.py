@@ -20,7 +20,7 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 import repro
 
@@ -62,6 +62,10 @@ class SuiteResult:
     suite: str
     scenarios: List[ScenarioResult] = field(default_factory=list)
     wall_s: float = 0.0
+    #: Base-seed override the run was launched with (``repro suite run
+    #: --seed N``); recorded in the aggregate so ``suite compare`` can
+    #: refuse to diff runs that sampled different workloads.
+    seed_override: Optional[int] = None
 
     def rows(self) -> List[Dict[str, object]]:
         return [row for scenario in self.scenarios for row in scenario.rows]
@@ -203,6 +207,8 @@ def run_suite(
     progress=None,
     only: Optional[Sequence[str]] = None,
     profile_dir: Optional[Path] = None,
+    seed: Optional[int] = None,
+    faults: Optional[Mapping[str, object]] = None,
 ) -> SuiteResult:
     """Resolve a named suite and run it, with optional global overrides.
 
@@ -214,6 +220,15 @@ def run_suite(
     note the resulting aggregate then covers a scenario *subset* and will not
     gate cleanly against a full-suite baseline.  ``profile_dir`` is forwarded
     to :func:`run_scenarios` (per-scenario cProfile hotspots).
+
+    ``seed`` overrides every scenario's base seed — the run then samples
+    *different* graphs and randomness, so the override is recorded in the
+    aggregate (``seed_override``) and ``suite compare`` refuses to diff it
+    against a baseline produced with a different seed.  ``faults`` replaces
+    every scenario's fault plan (``{"drop": 0.01}``-style mapping, from
+    ``repro suite run --faults ...``); the aggregate records the plan per
+    scenario, so a faulted run never gates silently against a clean
+    baseline either.
     """
     from dataclasses import replace
 
@@ -232,5 +247,11 @@ def run_suite(
         specs = [replace(spec, backend=backend) for spec in specs]
     if trials is not None:
         specs = [replace(spec, trials=trials) for spec in specs]
-    return run_scenarios(specs, workers=workers, suite=name, progress=progress,
-                         profile_dir=profile_dir)
+    if faults is not None:
+        specs = [replace(spec, faults=dict(faults)) for spec in specs]
+    if seed is not None:
+        specs = [replace(spec, seed=int(seed)) for spec in specs]
+    result = run_scenarios(specs, workers=workers, suite=name,
+                           progress=progress, profile_dir=profile_dir)
+    result.seed_override = None if seed is None else int(seed)
+    return result

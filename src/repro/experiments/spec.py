@@ -18,10 +18,13 @@ graph seed and solver seed are pure functions of the spec's *workload* fields
 
 from __future__ import annotations
 
-import hashlib
 import json
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Tuple
+
+from repro.utils.rng import derive_seed  # noqa: F401  (re-exported: the
+# seed-derivation chain now lives with the other deterministic-rng utilities
+# so the fault layer can share it without depending on the experiments layer)
 
 BACKENDS = ("batch", "dict", "slot")
 LEDGERS = ("records", "counters")
@@ -35,6 +38,20 @@ class ScenarioSpec:
     ``backend`` and ``ledger`` are performance knobs only — the transport
     engine guarantees identical accounting across them — so they do not feed
     the seed derivation and do not appear in aggregate artifacts.
+
+    ``faults`` (a ``{"drop": 0.01, "corrupt": 1e-4, ...}`` mapping — see
+    :class:`repro.faults.FaultPlan`) perturbs delivery deterministically.
+    Like backend/ledger it stays out of the *trial* seed derivation: a
+    faulted scenario and its clean twin color the same graphs with the same
+    solver randomness, so their rows are a controlled comparison.  The fault
+    RNG is instead derived from the trial's solver seed plus the plan's
+    canonical encoding, and the plan *does* appear in aggregate artifacts —
+    it changes outcomes, not just performance.
+
+    Construction validates all param-mapping keys (family, solver and fault
+    params) against the registries: a typo'd key would otherwise silently
+    change the seed derivation through ``canonical_params`` and quietly run
+    a different workload than the one named.
     """
 
     name: str
@@ -49,6 +66,13 @@ class ScenarioSpec:
     trials: int = 1
     seed: int = 0
     tags: Tuple[str, ...] = ()
+    faults: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self):
+        # Imported lazily — the registry imports this module at load time.
+        from repro.experiments.registry import check_spec_params
+
+        check_spec_params(self)
 
     def describe(self) -> Dict[str, object]:
         """A flat, printable summary row (used by ``repro suite list``)."""
@@ -59,6 +83,8 @@ class ScenarioSpec:
             "trials": self.trials,
             "mode": self.mode,
             "bandwidth": self.bandwidth_bits if self.bandwidth_bits is not None else "default",
+            "faults": ",".join(f"{k}={v}" for k, v in sorted(
+                self.faults.items(), key=lambda item: item[0])) or "-",
             "tags": ",".join(self.tags) or "-",
         }
 
@@ -66,17 +92,6 @@ class ScenarioSpec:
 def canonical_params(params: Mapping[str, object]) -> str:
     """Canonical JSON encoding of a parameter mapping (key-order independent)."""
     return json.dumps(dict(params), sort_keys=True, separators=(",", ":"), default=str)
-
-
-def derive_seed(*parts: object) -> int:
-    """Hash arbitrary labelled parts into a stable 31-bit seed.
-
-    Uses SHA-256 rather than ``hash()`` so the value is identical across
-    processes and interpreter runs (``hash()`` is salted per process).
-    """
-    text = ":".join(str(part) for part in parts)
-    digest = hashlib.sha256(text.encode("utf-8")).digest()
-    return int.from_bytes(digest[:4], "big") % (2**31 - 1)
 
 
 def trial_seeds(spec: ScenarioSpec, trial: int) -> Tuple[int, int]:

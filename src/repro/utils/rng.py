@@ -21,6 +21,21 @@ def _digest_seed(*parts: object) -> int:
     return int.from_bytes(digest[:8], "big")
 
 
+def derive_seed(*parts: object) -> int:
+    """Hash arbitrary labelled parts into a stable 31-bit seed.
+
+    Uses SHA-256 rather than ``hash()`` so the value is identical across
+    processes and interpreter runs (``hash()`` is salted per process).  This
+    is the seed-derivation chain shared by the experiment specs
+    (:mod:`repro.experiments.spec`) and the fault-injection layer
+    (:mod:`repro.faults`): both hash their workload description through it,
+    so a (seed, plan) pair reproduces bit-identically everywhere.
+    """
+    text = ":".join(str(part) for part in parts)
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big") % (2**31 - 1)
+
+
 def derive_rng(seed: int, *labels: object) -> random.Random:
     """Return a ``random.Random`` deterministically derived from labels."""
     return random.Random(_digest_seed(seed, *labels))

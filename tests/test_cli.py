@@ -167,3 +167,60 @@ class TestSuiteCommands:
                      "--timing-budget", "25", "--strict-timing",
                      "--timing-baseline", str(fast_path)]) == 1
         assert "FAIL" in capsys.readouterr().out
+
+
+class TestFaultsCli:
+    def test_faults_option_runs_and_records_plan(self, capsys, tmp_path):
+        import json
+
+        assert main(["suite", "run", "smoke", "--trials", "1",
+                     "--only", "gnp-d1c", "--faults", "drop=0.02,corrupt=1e-4",
+                     "--out", str(tmp_path)]) == 0
+        summary = json.loads((tmp_path / "BENCH_suite.json").read_text())
+        entry = summary["scenarios"]["gnp-d1c"]
+        assert entry["faults"] == {"drop": 0.02, "corrupt": 1e-4}
+        assert "dropped_messages" in entry["metrics"]
+
+    def test_invalid_under_faults_does_not_fail_the_run(self, capsys, tmp_path):
+        # drop=1 makes any coloring invalid, but that is the measurement,
+        # not a failure — the exit code stays 0 and the output says why.
+        assert main(["suite", "run", "smoke", "--trials", "1",
+                     "--only", "gnp-d1c", "--faults", "drop=1.0",
+                     "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "invalid under faults" in out
+
+    def test_bad_faults_spec_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="dorp"):
+            main(["suite", "run", "smoke", "--only", "gnp-d1c",
+                  "--faults", "dorp=0.1", "--out", str(tmp_path)])
+        with pytest.raises(SystemExit, match="key=value"):
+            main(["suite", "run", "smoke", "--only", "gnp-d1c",
+                  "--faults", "drop", "--out", str(tmp_path)])
+        with pytest.raises(SystemExit, match="not a number"):
+            main(["suite", "run", "smoke", "--only", "gnp-d1c",
+                  "--faults", "drop=lots", "--out", str(tmp_path)])
+
+    def test_robustness_suite_listed(self, capsys):
+        assert main(["suite", "list", "robustness"]) == 0
+        out = capsys.readouterr().out
+        assert "gnp-d1c-drop10" in out and "drop=0.1" in out
+
+    def test_seed_override_round_trips_and_compare_refuses(self, capsys, tmp_path):
+        import json
+
+        assert main(["suite", "run", "smoke", "--trials", "1",
+                     "--only", "gnp-d1c", "--seed", "7",
+                     "--out", str(tmp_path)]) == 0
+        summary_path = tmp_path / "BENCH_suite.json"
+        assert json.loads(summary_path.read_text())["seed_override"] == 7
+        # Same seed gates clean against itself ...
+        assert main(["suite", "compare", "--baseline", str(summary_path),
+                     "--fresh", str(summary_path)]) == 0
+        # ... but a default-seed fresh snapshot is refused.
+        assert main(["suite", "run", "smoke", "--trials", "1",
+                     "--only", "gnp-d1c",
+                     "--out", str(tmp_path / "clean")]) == 0
+        assert main(["suite", "compare", "--baseline", str(summary_path),
+                     "--fresh", str(tmp_path / "clean" / "BENCH_suite.json")]) == 1
+        assert "seed override mismatch" in capsys.readouterr().out

@@ -46,11 +46,13 @@ TINY_SPECS = [
 class TestRegistry:
     def test_expected_suites_exist(self):
         assert suite_names() == [
-            "bandwidth", "coloring", "detection", "scale", "scaling", "smoke"
+            "bandwidth", "coloring", "detection", "robustness", "scale",
+            "scaling", "smoke"
         ]
 
     @pytest.mark.parametrize(
-        "name", ["bandwidth", "coloring", "detection", "scale", "scaling", "smoke"])
+        "name", ["bandwidth", "coloring", "detection", "robustness", "scale",
+                 "scaling", "smoke"])
     def test_every_suite_resolves_and_validates(self, name):
         specs = get_suite(name)
         assert specs
@@ -367,3 +369,133 @@ class TestTimingGate:
         findings = compare_timing(self.BASE, fresh, budget=0.25, strict=True)
         assert {f.severity for f in findings} == {"info"}
         assert gate_passes(findings)
+
+
+class TestSpecParamValidation:
+    """Typo'd param keys must fail at construction, not at run time.
+
+    A misspelled key used to change the graph-seed derivation silently
+    (every family_params key feeds canonical_params) while the builder never
+    saw it — the scenario quietly ran a different workload than it named.
+    """
+
+    def test_unknown_family_param_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="unknown family_params.*nn"):
+            ScenarioSpec("typo", "gnp", "d1c", family_params={"nn": 30})
+
+    def test_unknown_solver_param_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="unknown solver_params.*tries"):
+            ScenarioSpec("typo", "gnp", "d1c", solver_params={"tries": 4})
+
+    def test_unknown_fault_param_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="dorp"):
+            ScenarioSpec("typo", "gnp", "d1c", faults={"dorp": 0.1})
+
+    def test_replace_revalidates(self):
+        good = TINY_SPECS[0]
+        with pytest.raises(ValueError, match="unknown family_params"):
+            dataclasses.replace(good, family_params={"n": 30, "q": 0.5})
+
+    def test_unknown_family_defers_to_validate_spec(self):
+        # Construction cannot know an unknown family's key set; validate_spec
+        # still rejects the spec itself.
+        spec = ScenarioSpec("odd", "no-such-family", "d1c",
+                            family_params={"whatever": 1})
+        with pytest.raises(ValueError, match="unknown graph family"):
+            validate_spec(spec)
+
+    def test_every_registered_family_and_solver_has_a_key_set(self):
+        from repro.experiments import FAMILY_PARAM_KEYS, SOLVER_PARAM_KEYS
+
+        assert set(FAMILY_PARAM_KEYS) == set(GRAPH_FAMILIES)
+        assert set(SOLVER_PARAM_KEYS) == set(SOLVERS)
+
+
+class TestFaultedScenarios:
+    FAULTED = ScenarioSpec("tiny-d1c-faulted", "gnp", "d1c",
+                           family_params={"n": 30, "p": 0.15},
+                           faults={"drop": 0.1}, trials=2)
+
+    def test_faults_do_not_change_trial_seeds(self):
+        clean = dataclasses.replace(self.FAULTED, faults={})
+        assert trial_seeds(self.FAULTED, 0) == trial_seeds(clean, 0)
+
+    def test_fault_rows_add_outcome_columns(self):
+        row = run_trial(self.FAULTED, 0)
+        for key in ("delivered_messages", "dropped_messages",
+                    "corrupted_messages", "crashed_nodes"):
+            assert key in row
+        assert row["dropped_messages"] > 0
+        clean_row = run_trial(dataclasses.replace(self.FAULTED, faults={}), 0)
+        assert "dropped_messages" not in clean_row
+
+    def test_aggregate_records_canonical_fault_plan(self):
+        result = run_scenarios([self.FAULTED], suite="tiny")
+        summary = aggregate_suite(result)
+        entry = summary["scenarios"]["tiny-d1c-faulted"]
+        assert entry["faults"] == {"drop": 0.1}
+        assert "dropped_messages" in entry["metrics"]
+        clean = aggregate_suite(run_scenarios(TINY_SPECS[:1], suite="tiny"))
+        assert "faults" not in clean["scenarios"]["tiny-d1c"]
+
+    def test_parallel_equals_serial_under_faults(self):
+        specs = [self.FAULTED,
+                 dataclasses.replace(self.FAULTED, name="tiny-corrupt",
+                                     faults={"corrupt": 1e-3})]
+        serial = run_scenarios(specs, workers=1, suite="tiny")
+        parallel = run_scenarios(specs, workers=2, suite="tiny")
+        assert canonical_dumps(aggregate_suite(serial)) == \
+            canonical_dumps(aggregate_suite(parallel))
+
+    def test_backend_override_keeps_faulted_aggregate(self):
+        base = run_scenarios([self.FAULTED], suite="tiny")
+        for backend in ("dict", "slot"):
+            other = run_scenarios(
+                [dataclasses.replace(self.FAULTED, backend=backend)],
+                suite="tiny")
+            assert aggregate_suite(base) == aggregate_suite(other), backend
+
+    def test_compare_rejects_fault_plan_drift(self):
+        baseline = aggregate_suite(run_scenarios([self.FAULTED], suite="tiny"))
+        fresh = json.loads(json.dumps(baseline))
+        fresh["scenarios"]["tiny-d1c-faulted"]["faults"] = {"drop": 0.2}
+        findings = compare_summaries(baseline, fresh)
+        assert not gate_passes(findings)
+        assert any(f.metric == "faults" for f in findings)
+
+    def test_robustness_suite_shape(self):
+        specs = get_suite("robustness")
+        assert len(specs) >= 12
+        axes = {tag for spec in specs for tag in spec.tags}
+        assert {"robustness", "drop", "corrupt", "crash", "throttle",
+                "clean"} <= axes
+        assert {spec.solver for spec in specs} == {"d1c", "d1lc"}
+        assert len({spec.family for spec in specs}) >= 3
+        faulted = [spec for spec in specs if spec.faults]
+        assert len(faulted) == len(specs) - 1  # one clean reference scenario
+
+
+class TestSeedOverride:
+    def test_seed_override_recorded_in_aggregate(self):
+        result = run_suite("smoke", only=["gnp-d1c"], trials=1, seed=7)
+        summary = aggregate_suite(result)
+        assert summary["seed_override"] == 7
+        default = run_suite("smoke", only=["gnp-d1c"], trials=1)
+        assert "seed_override" not in aggregate_suite(default)
+
+    def test_seed_override_changes_sampled_workload(self):
+        a = run_suite("smoke", only=["gnp-d1c"], trials=1, seed=7)
+        b = run_suite("smoke", only=["gnp-d1c"], trials=1, seed=8)
+        sha = lambda r: r.rows()[0]["coloring_sha"]
+        assert sha(a) != sha(b)
+
+    def test_compare_refuses_mismatched_seed_override(self):
+        with_seed = aggregate_suite(
+            run_suite("smoke", only=["gnp-d1c"], trials=1, seed=7))
+        without = aggregate_suite(
+            run_suite("smoke", only=["gnp-d1c"], trials=1))
+        findings = compare_summaries(without, with_seed)
+        assert not gate_passes(findings)
+        assert findings[0].metric == "seed"
+        # Matching overrides gate normally.
+        assert compare_summaries(with_seed, with_seed) == []

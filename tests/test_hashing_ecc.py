@@ -82,3 +82,69 @@ class TestKeys:
 
     def test_mix64_range(self):
         assert 0 <= mix64(123456789, 987654321) < 2 ** 64
+
+
+class TestDistanceUnderFaultCorruption:
+    """The code's distance property under the fault layer's bit-flip operator.
+
+    Algorithm 6's analysis needs two things from the ``[3b, b, b/2]`` code
+    once the channel flips bits at rate ``q``:
+
+    * corrupted codewords are still *uniquely decodable* for small ``q``:
+      the corrupted word stays far closer to its original than to any other
+      codeword (inter-codeword distance is ~1/2, corruption moves ~q); and
+    * corruption is *detected* (the received word differs from the sent
+      codeword) at rate ``1 - (1-q)^{3b}`` — the per-word detection rate the
+      eps-Buddy comparison of random positions relies on.
+    """
+
+    WORD_BITS = 24
+
+    def _corrupted(self, code, word, rate, seed):
+        from repro.faults import corrupt_bits
+
+        return corrupt_bits(code.encode(word), rate, seed=seed)
+
+    def test_unique_decoding_survives_five_percent_noise(self):
+        code = ErrorCorrectingCode(word_bits=self.WORD_BITS, seed=3)
+        words = list(range(40))
+        codewords = {w: code.encode(w) for w in words}
+        for word in words:
+            corrupted, _ = self._corrupted(code, word, 0.05, seed=word + 1)
+            own = hamming_distance(corrupted, codewords[word])
+            rival = min(hamming_distance(corrupted, codewords[other])
+                        for other in words if other != word)
+            assert own < rival, word
+            # Far inside the unique-decoding radius (~b/4 of 3b positions).
+            assert own / code.codeword_bits < 0.25
+
+    def test_detection_rate_matches_binomial_model(self):
+        code = ErrorCorrectingCode(word_bits=self.WORD_BITS, seed=3)
+        rate = 0.02
+        trials = 400
+        detected = 0
+        total_flips = 0
+        for word in range(trials):
+            corrupted, flips = self._corrupted(code, word, rate, seed=word)
+            assert (corrupted != code.encode(word)) == (flips > 0)
+            detected += flips > 0
+            total_flips += flips
+        expected_detect = 1 - (1 - rate) ** code.codeword_bits
+        assert abs(detected / trials - expected_detect) < 0.08
+        expected_flips = rate * code.codeword_bits
+        assert abs(total_flips / trials - expected_flips) < 0.5
+
+    @settings(max_examples=40, deadline=None)
+    @given(word=st.integers(min_value=0, max_value=10 ** 9),
+           seed=st.integers(min_value=0, max_value=10 ** 6))
+    def test_corruption_preserves_codeword_shape(self, word, seed):
+        from repro.faults import corrupt_bits
+
+        code = ErrorCorrectingCode(word_bits=16, seed=11)
+        codeword = code.encode(word)
+        corrupted, flips = corrupt_bits(codeword, 0.1, seed=seed)
+        assert len(corrupted) == len(codeword)
+        assert set(corrupted) <= {0, 1}
+        assert hamming_distance(corrupted, codeword) == flips
+        # Determinism: the operator is a pure function of (bits, rate, seed).
+        assert corrupt_bits(codeword, 0.1, seed=seed) == (corrupted, flips)
