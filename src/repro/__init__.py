@@ -13,6 +13,10 @@ The package provides:
   almost-clique decomposition, SlackColor, dense/sparse phases, Theorem 1);
 * ``repro.baselines`` — Johansson-style random trials, naive high-bandwidth
   implementations, and a centralized greedy reference;
+* ``repro.shard`` — partition-parallel execution: contiguous shard plans
+  with cut-edge routing, a sharded simulator for node programs, and the
+  sharded similarity sweep behind ``Network(shards=N)`` — byte-identical to
+  serial for any shard count;
 * ``repro.graphs`` / ``repro.metrics`` — instance generators, ground-truth
   properties, and experiment reporting.
 

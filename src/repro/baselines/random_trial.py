@@ -38,6 +38,7 @@ def johansson_coloring(
     ledger: str = "records",
     faults=None,
     fault_seed: Optional[int] = None,
+    shards: int = 1,
 ) -> ColoringResult:
     """Color ``graph`` by iterated random color trials.
 
@@ -54,7 +55,8 @@ def johansson_coloring(
     params = (params or ColoringParameters.small()).with_seed(seed)
     network = Network(graph, mode=mode, backend=backend, ledger=ledger,
                       faults=faults,
-                      fault_seed=seed if fault_seed is None else fault_seed)
+                      fault_seed=seed if fault_seed is None else fault_seed,
+                      shards=shards)
     state = ColoringState(instance, network, params)
     if max_iterations is None:
         max_iterations = 8 * max(4, graph.number_of_nodes().bit_length() ** 2)

@@ -68,9 +68,19 @@ class Simulator:
     but the dict is only guaranteed to hold those messages *for the duration
     of the call*: a program that wants to keep an inbox across rounds must
     copy it.
+
+    ``slots`` optionally restricts the simulator to *own* only a contiguous
+    range of the topology's node indices: states, contexts, rngs and inboxes
+    are built (and ``init``/``step``/``finish`` run) for the owned slots only.
+    This is the seam the sharded execution layer (:mod:`repro.shard`) plugs
+    into — each shard worker drives one ``Simulator`` over its slice, with a
+    transport that delivers only to owned receivers.  With the default
+    ``slots=None`` the simulator owns every node and behaves exactly as
+    before.
     """
 
-    def __init__(self, network: Network, program: NodeProgram, seed: int = 0):
+    def __init__(self, network: Network, program: NodeProgram, seed: int = 0,
+                 slots: Optional[range] = None):
         self.network = network
         self.program = program
         self.rng_stream = RngStream(seed)
@@ -78,34 +88,53 @@ class Simulator:
         nodes = topology.nodes
         self._nodes = nodes
         self._slot_of = topology.node_index
-        self._state_list: List[NodeState] = [NodeState(node=v) for v in nodes]
-        self.states: Dict[Node, NodeState] = {
-            v: self._state_list[i] for i, v in enumerate(nodes)
-        }
-        self._round_index = 0
-        self._context_list: List[ProgramContext] = [
-            ProgramContext(
+        if slots is None:
+            owned = range(len(nodes))
+        else:
+            if slots.step != 1 or slots.start < 0 or slots.stop > len(nodes):
+                raise ValueError(
+                    f"slots must be a unit-step range within [0, {len(nodes)}), "
+                    f"got {slots!r}"
+                )
+            owned = slots
+        self._owned = owned
+        # Slot-indexed lists span the full topology so global indices stay
+        # valid; entries outside the owned range are never populated.
+        self._state_list: List[Optional[NodeState]] = [None] * len(nodes)
+        self._context_list: List[Optional[ProgramContext]] = [None] * len(nodes)
+        self._inbox_list: List[Optional[Dict[Node, Any]]] = [None] * len(nodes)
+        for i in owned:
+            v = nodes[i]
+            state = NodeState(node=v)
+            self._state_list[i] = state
+            self._context_list[i] = ProgramContext(
                 network=network,
                 node=v,
-                state=self._state_list[i],
+                state=state,
                 rng=self.rng_stream.for_node(v),
                 round_index=0,
             )
-            for i, v in enumerate(nodes)
-        ]
-        self._contexts: Dict[Node, ProgramContext] = {
-            v: self._context_list[i] for i, v in enumerate(nodes)
+            self._inbox_list[i] = {}
+        self.states: Dict[Node, NodeState] = {
+            nodes[i]: self._state_list[i] for i in owned
         }
-        # One pooled inbox dict per slot, cleared and refilled across rounds.
-        self._inbox_list: List[Dict[Node, Any]] = [{} for _ in nodes]
+        self._contexts: Dict[Node, ProgramContext] = {
+            nodes[i]: self._context_list[i] for i in owned
+        }
+        self._round_index = 0
         self._outgoing: Dict[tuple, Any] = {}
-        for ctx in self._context_list:
-            self.program.init(ctx)
+        for i in owned:
+            self.program.init(self._context_list[i])
         # Incremental active set: slots leave on halt (a program may already
         # halt in init), and are never rescanned.
         self._active: List[int] = [
-            i for i, state in enumerate(self._state_list) if not state.halted
+            i for i in owned if not self._state_list[i].halted
         ]
+
+    @property
+    def has_active(self) -> bool:
+        """True while at least one owned node has not halted."""
+        return bool(self._active)
 
     def _context(self, node: Node) -> ProgramContext:
         ctx = self._contexts[node]
@@ -133,8 +162,9 @@ class Simulator:
         changed = False
         for v in crashed:
             i = slot_of.get(v)
-            if i is not None and not state_list[i].halted:
-                state_list[i].halted = True
+            state = state_list[i] if i is not None else None
+            if state is not None and not state.halted:
+                state.halted = True
                 changed = True
         if changed:
             self._active = [i for i in self._active if not state_list[i].halted]
@@ -180,22 +210,36 @@ class Simulator:
         # Refill from this round's deliveries.  Mail for an already-halted
         # receiver is dropped: it could never be read (the node will not step
         # again), and leaving it would accrete stale entries in a pooled box.
+        # Mail for a slot outside the owned range is likewise dropped (it is
+        # some other shard's to deliver; a correctly-routed transport never
+        # produces it).
         slot_of = self._slot_of
         for (sender, receiver), payload in delivered.items():
             i = slot_of[receiver]
-            if not state_list[i].halted:
+            state = state_list[i]
+            if state is not None and not state.halted:
                 inbox_list[i][sender] = payload
         self._round_index += 1
         return bool(self._active)
+
+    def finish_outputs(self) -> Dict[Node, Any]:
+        """Collect ``program.finish`` for every owned node, in slot order.
+
+        The one finish epilogue, shared by :meth:`run` and the sharded
+        workers (:mod:`repro.shard.sim`) so the two cannot drift.
+        """
+        nodes = self._nodes
+        return {
+            nodes[i]: self.program.finish(self._context(nodes[i]))
+            for i in self._owned
+        }
 
     def run(self, max_rounds: int = 10_000, label: Optional[str] = None) -> SimulationResult:
         """Run until every node halts or ``max_rounds`` rounds have elapsed."""
         for _ in range(max_rounds):
             if not self.step(label=label):
                 break
-        outputs = {
-            v: self.program.finish(self._context(v)) for v in self._nodes
-        }
+        outputs = self.finish_outputs()
         return SimulationResult(
             rounds=self._round_index,
             outputs=outputs,

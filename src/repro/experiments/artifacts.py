@@ -84,12 +84,23 @@ def aggregate_suite(result: SuiteResult) -> Dict[str, object]:
 
 
 def timing_summary(result: SuiteResult) -> Dict[str, object]:
-    """One run's wall-clock entry (merged into the multi-suite timing file)."""
+    """One run's wall-clock + peak-memory entry (merged into the timing file).
+
+    ``peak_rss_mb`` is the per-scenario maximum of the trial rows' process
+    high-water marks (see :func:`~repro.experiments.runner.peak_rss_mb`), so
+    memory regressions at large n are visible next to the wall-clock they
+    usually cause.  Machine state, like timing — hence this artifact, never
+    the aggregate.
+    """
     return {
         "suite": result.suite,
         "total_wall_s": result.wall_s,
         "scenarios": {
             scenario.spec.name: scenario.wall_s for scenario in result.scenarios
+        },
+        "peak_rss_mb": {
+            scenario.spec.name: scenario.peak_rss_mb
+            for scenario in result.scenarios
         },
     }
 
@@ -115,10 +126,13 @@ def merge_timing(path: Path, summary: Mapping[str, object]) -> Dict[str, object]
             and isinstance(existing.get("suites"), dict)
         ):
             data["suites"].update(existing["suites"])
-    data["suites"][str(summary["suite"])] = {
+    entry = {
         "total_wall_s": summary["total_wall_s"],
         "scenarios": dict(summary["scenarios"]),
     }
+    if "peak_rss_mb" in summary:
+        entry["peak_rss_mb"] = dict(summary["peak_rss_mb"])
+    data["suites"][str(summary["suite"])] = entry
     path.write_text(canonical_dumps(data))
     return data
 

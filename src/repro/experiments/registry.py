@@ -11,7 +11,7 @@ executable trial:
   schema so suites can be aggregated and diffed uniformly.
 * ``SUITES`` — the named scenario collections the CLI exposes
   (``smoke``, ``coloring``, ``bandwidth``, ``detection``, ``scaling``,
-  ``scale``, ``robustness``).  The suites absorb the workloads of the
+  ``scale``, ``robustness``, ``massive``).  The suites absorb the workloads of the
   historical ``bench_e*`` scripts — scenarios tagged
   ``e09``/``e11``/``e12``/``e16`` are the exact points those benchmarks now
   resolve via :func:`get_suite`.  ``scale`` is the large-n workload
@@ -20,6 +20,8 @@ executable trial:
   ledger so wall-clock and memory stay bounded.  ``robustness`` sweeps the
   fault-intensity axis (:mod:`repro.faults`): drop/corruption rates, node
   crashes and bandwidth throttling across d1lc/d1c on three families.
+  ``massive`` is the partition-parallel workload (n up to 500 000 on
+  ``gnp_fast``/geometric/ring-of-cliques) driven with ``--shards N``.
 """
 
 from __future__ import annotations
@@ -40,6 +42,7 @@ from repro.experiments.spec import BACKENDS, LEDGERS, MODES, ScenarioSpec
 from repro.graphs import (
     degree_plus_one_lists,
     delta_plus_one_lists,
+    gnp_fast_graph,
     gnp_graph,
     huge_color_space_lists,
     locally_sparse_graph,
@@ -71,6 +74,15 @@ def _gnp(seed: int, n: int = 100, p: float = 0.1):
 def _gnp_avg_degree(seed: int, n: int = 100, avg_degree: float = 10.0):
     """G(n, p) with p chosen for a target average degree (the E9/E11 sweep)."""
     return gnp_graph(n, min(0.5, avg_degree / n), seed=seed), None
+
+
+def _gnp_fast(seed: int, n: int = 100, p=None, avg_degree=None):
+    """Sparse-time G(n, p) for large n (a *distinct* family from ``gnp``:
+    the geometric-skipping sampler draws a different edge stream per seed,
+    so the committed ``gnp`` baselines stay byte-identical)."""
+    if p is None and avg_degree is None:
+        avg_degree = 8.0
+    return gnp_fast_graph(n, p=p, avg_degree=avg_degree, seed=seed), None
 
 
 def _power_law(seed: int, n: int = 100, attachment: int = 3, triangle_prob: float = 0.3):
@@ -112,6 +124,7 @@ def _four_cycle_rich(seed: int, **params):
 GRAPH_FAMILIES: Dict[str, GraphBuilder] = {
     "gnp": _gnp,
     "gnp_avg_degree": _gnp_avg_degree,
+    "gnp_fast": _gnp_fast,
     "power_law": _power_law,
     "random_regular": _random_regular,
     "random_geometric": _random_geometric,
@@ -129,6 +142,7 @@ GRAPH_FAMILIES: Dict[str, GraphBuilder] = {
 FAMILY_PARAM_KEYS: Dict[str, frozenset] = {
     "gnp": frozenset({"n", "p"}),
     "gnp_avg_degree": frozenset({"n", "avg_degree"}),
+    "gnp_fast": frozenset({"n", "p", "avg_degree"}),
     "power_law": frozenset({"n", "attachment", "triangle_prob"}),
     "random_regular": frozenset({"n", "degree"}),
     "random_geometric": frozenset({"n", "radius"}),
@@ -228,7 +242,7 @@ def _solve_d1c(spec: ScenarioSpec, graph: nx.Graph, truth, seed: int):
     result = solve_d1c(
         graph, params=_solver_params(spec, seed), mode=spec.mode,
         bandwidth_bits=spec.bandwidth_bits, backend=spec.backend,
-        ledger=spec.ledger, **_fault_kwargs(spec, seed),
+        ledger=spec.ledger, shards=spec.shards, **_fault_kwargs(spec, seed),
     )
     return _coloring_metrics(result, graph)
 
@@ -238,7 +252,7 @@ def _solve_d1lc(spec: ScenarioSpec, graph: nx.Graph, truth, seed: int):
     result = solve_d1lc(
         graph, lists, params=_solver_params(spec, seed), mode=spec.mode,
         bandwidth_bits=spec.bandwidth_bits, backend=spec.backend,
-        ledger=spec.ledger, **_fault_kwargs(spec, seed),
+        ledger=spec.ledger, shards=spec.shards, **_fault_kwargs(spec, seed),
     )
     return _coloring_metrics(result, graph)
 
@@ -247,7 +261,7 @@ def _solve_delta_plus_one(spec: ScenarioSpec, graph: nx.Graph, truth, seed: int)
     result = solve_delta_plus_one(
         graph, params=_solver_params(spec, seed), mode=spec.mode,
         bandwidth_bits=spec.bandwidth_bits, backend=spec.backend,
-        ledger=spec.ledger, **_fault_kwargs(spec, seed),
+        ledger=spec.ledger, shards=spec.shards, **_fault_kwargs(spec, seed),
     )
     return _coloring_metrics(result, graph)
 
@@ -255,7 +269,7 @@ def _solve_delta_plus_one(spec: ScenarioSpec, graph: nx.Graph, truth, seed: int)
 def _solve_johansson(spec: ScenarioSpec, graph: nx.Graph, truth, seed: int):
     result = johansson_coloring(
         graph, mode=spec.mode, seed=seed, backend=spec.backend,
-        ledger=spec.ledger, **_fault_kwargs(spec, seed),
+        ledger=spec.ledger, shards=spec.shards, **_fault_kwargs(spec, seed),
     )
     return _coloring_metrics(result, graph)
 
@@ -263,7 +277,8 @@ def _solve_johansson(spec: ScenarioSpec, graph: nx.Graph, truth, seed: int):
 def _solve_acd(spec: ScenarioSpec, graph: nx.Graph, truth, seed: int):
     network = Network(
         graph, mode=spec.mode, bandwidth_bits=spec.bandwidth_bits,
-        backend=spec.backend, ledger=spec.ledger, **_fault_kwargs(spec, seed),
+        backend=spec.backend, ledger=spec.ledger, shards=spec.shards,
+        **_fault_kwargs(spec, seed),
     )
     params = ColoringParameters.small(seed=seed)
     variant = spec.solver_params.get("variant", "hashed")
@@ -299,7 +314,8 @@ def _solve_multitrial(spec: ScenarioSpec, graph: nx.Graph, truth, seed: int):
     instance = ColoringInstance.d1lc(graph, lists)
     network = Network(
         graph, mode=spec.mode, bandwidth_bits=spec.bandwidth_bits,
-        backend=spec.backend, ledger=spec.ledger, **_fault_kwargs(spec, seed),
+        backend=spec.backend, ledger=spec.ledger, shards=spec.shards,
+        **_fault_kwargs(spec, seed),
     )
     state = ColoringState(instance, network, ColoringParameters.small(seed=seed))
     if variant == "hashed":
@@ -330,7 +346,8 @@ def _solve_multitrial(spec: ScenarioSpec, graph: nx.Graph, truth, seed: int):
 def _solve_triangles(spec: ScenarioSpec, graph: nx.Graph, truth, seed: int):
     network = Network(
         graph, mode=spec.mode, bandwidth_bits=spec.bandwidth_bits,
-        backend=spec.backend, ledger=spec.ledger, **_fault_kwargs(spec, seed),
+        backend=spec.backend, ledger=spec.ledger, shards=spec.shards,
+        **_fault_kwargs(spec, seed),
     )
     eps = float(spec.solver_params.get("eps", 0.3))
     result = detect_triangle_rich_edges(network, eps=eps, seed=seed)
@@ -358,7 +375,8 @@ def _solve_triangles(spec: ScenarioSpec, graph: nx.Graph, truth, seed: int):
 def _solve_four_cycles(spec: ScenarioSpec, graph: nx.Graph, truth, seed: int):
     network = Network(
         graph, mode=spec.mode, bandwidth_bits=spec.bandwidth_bits,
-        backend=spec.backend, ledger=spec.ledger, **_fault_kwargs(spec, seed),
+        backend=spec.backend, ledger=spec.ledger, shards=spec.shards,
+        **_fault_kwargs(spec, seed),
     )
     eps = float(spec.solver_params.get("eps", 0.3))
     result = detect_four_cycle_rich_pairs(network, eps=eps, seed=seed)
@@ -656,6 +674,48 @@ def _robustness_suite() -> List[ScenarioSpec]:
     return specs
 
 
+def _massive_suite() -> List[ScenarioSpec]:
+    """Partition-parallel large-n workload: n = 50 000 / 200 000 / 500 000.
+
+    Three scalable families (``gnp_fast`` — the sparse-time G(n, p) sampler,
+    geometric, ring-of-cliques) under the D1LC and D1C solvers.  The
+    ``massive-smoke`` tier (n = 50 000) is what CI and
+    ``benchmarks/bench_massive.py --smoke`` run; the n = 200 000 / 500 000
+    points are the headline sharded-vs-serial workload (single trials,
+    ``counters`` ledger).  Run with ``--shards N`` to fan the per-edge
+    similarity sweeps over shard workers — aggregates are byte-identical to
+    serial for any count, which is exactly what ``bench_massive`` asserts
+    while it times the two.  Geometric radii target average degree ≈ 8
+    (``r = sqrt(8 / (π n))``) so the sweeps stay linear in m.
+    """
+    return [
+        ScenarioSpec("massive-ring-n50000-d1lc", "ring_of_cliques", "d1lc",
+                     family_params={"num_cliques": 6250, "clique_size": 8},
+                     tags=("massive", "massive-smoke")),
+        ScenarioSpec("massive-gnp-n50000-d1c", "gnp_fast", "d1c",
+                     family_params={"n": 50000, "avg_degree": 8.0},
+                     seed=50000, tags=("massive", "massive-smoke")),
+        ScenarioSpec("massive-gnp-n200000-d1lc", "gnp_fast", "d1lc",
+                     family_params={"n": 200000, "avg_degree": 8.0},
+                     seed=200000, tags=("massive", "n200k")),
+        ScenarioSpec("massive-geometric-n200000-d1c", "random_geometric", "d1c",
+                     family_params={"n": 200000, "radius": 0.00357},
+                     seed=200000, tags=("massive", "n200k")),
+        ScenarioSpec("massive-ring-n200000-d1c", "ring_of_cliques", "d1c",
+                     family_params={"num_cliques": 25000, "clique_size": 8},
+                     tags=("massive", "n200k")),
+        ScenarioSpec("massive-gnp-n500000-d1c", "gnp_fast", "d1c",
+                     family_params={"n": 500000, "avg_degree": 8.0},
+                     seed=500000, tags=("massive", "n500k")),
+        ScenarioSpec("massive-geometric-n500000-d1lc", "random_geometric", "d1lc",
+                     family_params={"n": 500000, "radius": 0.00226},
+                     seed=500000, tags=("massive", "n500k")),
+        ScenarioSpec("massive-ring-n500000-d1lc", "ring_of_cliques", "d1lc",
+                     family_params={"num_cliques": 62500, "clique_size": 8},
+                     tags=("massive", "n500k")),
+    ]
+
+
 _SUITE_BUILDERS: Dict[str, Callable[[], List[ScenarioSpec]]] = {
     "smoke": _smoke_suite,
     "coloring": _coloring_suite,
@@ -664,6 +724,7 @@ _SUITE_BUILDERS: Dict[str, Callable[[], List[ScenarioSpec]]] = {
     "scaling": _scaling_suite,
     "scale": _scale_suite,
     "robustness": _robustness_suite,
+    "massive": _massive_suite,
 }
 
 
@@ -711,6 +772,8 @@ def validate_spec(spec: ScenarioSpec) -> None:
         raise ValueError(f"{spec.name}: unknown mode {spec.mode!r}")
     if spec.trials < 1:
         raise ValueError(f"{spec.name}: trials must be >= 1")
+    if int(spec.shards) < 1:
+        raise ValueError(f"{spec.name}: shards must be >= 1")
     if spec.bandwidth_bits is not None and int(spec.bandwidth_bits) < 1:
         raise ValueError(f"{spec.name}: bandwidth_bits must be >= 1 or None")
     # Param-key validation normally runs at construction; re-check here so

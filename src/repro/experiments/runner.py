@@ -16,6 +16,8 @@ import cProfile
 import io
 import os
 import pstats
+import resource
+import sys
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -28,10 +30,28 @@ from repro.experiments.registry import GRAPH_FAMILIES, SOLVERS, validate_spec
 from repro.experiments.spec import ScenarioSpec, trial_seeds
 
 #: Row keys describing execution rather than the measured workload; they are
-#: excluded from aggregation (timing) or aggregated specially (identity).
+#: excluded from aggregation (timing/memory) or aggregated specially
+#: (identity).
 NON_METRIC_KEYS = (
     "scenario", "family", "solver", "trial", "graph_seed", "solver_seed", "wall_s",
+    "peak_rss_mb",
 )
+
+
+def peak_rss_mb() -> float:
+    """Peak resident-set size of the calling process, in MiB.
+
+    ``ru_maxrss`` is a lifetime high-water mark, so a trial's value is an
+    upper bound: a light scenario that runs after a heavy one in the same
+    (worker) process reports the heavy one's peak.  Regressions still
+    surface — the per-suite maximum only ever grows because *some* scenario
+    needed that much — and the number is machine state, so it lives in the
+    timing artifact, never the byte-stable aggregate.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform != "darwin":
+        peak *= 1024  # Linux reports KiB; macOS reports bytes
+    return round(peak / (1024.0 * 1024.0), 1)
 
 #: Number of cumulative-time hotspots written per scenario profile.
 PROFILE_TOP = 25
@@ -53,6 +73,12 @@ class ScenarioResult:
     @property
     def valid_trials(self) -> int:
         return sum(1 for row in self.rows if row.get("valid"))
+
+    @property
+    def peak_rss_mb(self) -> float:
+        """Highest per-trial peak RSS observed for this scenario (MiB)."""
+        return max((float(row.get("peak_rss_mb", 0.0)) for row in self.rows),
+                   default=0.0)
 
 
 @dataclass
@@ -96,6 +122,7 @@ def run_trial(spec: ScenarioSpec, trial: int) -> Dict[str, object]:
     }
     row.update(metrics)
     row["wall_s"] = round(wall_s, 4)
+    row["peak_rss_mb"] = peak_rss_mb()
     return row
 
 
@@ -209,6 +236,7 @@ def run_suite(
     profile_dir: Optional[Path] = None,
     seed: Optional[int] = None,
     faults: Optional[Mapping[str, object]] = None,
+    shards: Optional[int] = None,
 ) -> SuiteResult:
     """Resolve a named suite and run it, with optional global overrides.
 
@@ -245,6 +273,10 @@ def run_suite(
         specs = [spec for spec in specs if spec.name in wanted]
     if backend is not None:
         specs = [replace(spec, backend=backend) for spec in specs]
+    if shards is not None:
+        # A performance-only knob like backend: byte-identical aggregates
+        # for any value (the CI shard-smoke job gates exactly this).
+        specs = [replace(spec, shards=int(shards)) for spec in specs]
     if trials is not None:
         specs = [replace(spec, trials=trials) for spec in specs]
     if faults is not None:

@@ -1,6 +1,7 @@
 """Graph, palette and instance generators used by tests, examples and benchmarks."""
 
 from repro.graphs.generators import (
+    gnp_fast_graph,
     gnp_graph,
     power_law_graph,
     random_geometric_graph,
@@ -29,6 +30,7 @@ from repro.graphs.properties import (
 )
 
 __all__ = [
+    "gnp_fast_graph",
     "gnp_graph",
     "power_law_graph",
     "random_geometric_graph",

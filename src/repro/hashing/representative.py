@@ -204,6 +204,17 @@ class RepresentativeHashFamily:
 
     # ----------------------------------------------------------------- access
     @property
+    def family_seed(self) -> int:
+        """The mixed seed members are derived from.
+
+        ``RepresentativeHashFunction(family_seed, index, lam)`` rebuilds
+        ``member(index)`` exactly — the identity the sharded similarity
+        sweep uses to reconstruct members inside compute workers without
+        shipping the family object.
+        """
+        return self._seed
+
+    @property
     def lam(self) -> int:
         return self.params.lam
 

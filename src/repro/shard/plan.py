@@ -1,0 +1,166 @@
+"""Contiguous slot partitions and the cut-edge routing table.
+
+A :class:`ShardPlan` splits a :class:`~repro.congest.topology.Topology`'s
+contiguous node-index range ``[0, n)`` into ``shards`` contiguous slices.
+Slices are balanced by *CSR weight* — each slot costs one unit plus its CSR
+degree — so a shard's share of the adjacency structure (and therefore of the
+per-round delivery and per-edge compute work) is roughly equal, not just its
+node count.  Because ``indptr[i] + i`` is strictly increasing, the balanced
+boundaries are found by bisection without walking the edge list.
+
+The plan also owns the cut-edge routing table: for every shard, the directed
+edges that leave it for another shard, read straight off the existing CSR
+arrays (``indptr``/``indices``).  The table is built lazily — the sharded
+simulator's hot path only needs the O(1) ``owner`` lookup — and cached, so
+diagnostics, tests and the cut-traffic summaries pay the O(m) walk once.
+
+A plan is pure data about the topology: it never influences what a sharded
+execution *computes* (any shard count must reproduce the serial bytes), only
+how the work is sliced.
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_left
+from typing import Dict, List, Optional, Tuple
+
+from repro.congest.topology import Topology
+
+
+class ShardPlan:
+    """A contiguous, CSR-balanced partition of a topology's slot range."""
+
+    __slots__ = ("topology", "shards", "bounds", "owner", "_cut_table")
+
+    def __init__(self, topology: Topology, shards: int):
+        n = topology.number_of_nodes
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        # More shards than nodes would leave empty slices; clamp rather than
+        # error so callers can pass a fixed --shards to any workload.
+        shards = min(shards, max(1, n))
+        self.topology = topology
+        self.shards = shards
+        indptr = topology.indptr
+        # Weight of the prefix [0, i): one unit per slot plus its CSR degree.
+        # f(i) = indptr[i] + i is strictly increasing, so each balanced
+        # boundary is a single bisection over indptr.
+        total = indptr[n] + n if n else 0
+        bounds: List[int] = [0]
+        for s in range(1, shards):
+            target = (total * s) // shards
+            # Smallest i with indptr[i] + i >= target.
+            lo, hi = bounds[-1], n
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if indptr[mid] + mid < target:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            # Keep slices non-empty even on degenerate weight distributions.
+            bounds.append(min(max(lo, bounds[-1] + 1), n - (shards - s)))
+        bounds.append(n)
+        self.bounds: Tuple[int, ...] = tuple(bounds)
+        owner = array("l")
+        for s in range(shards):
+            owner.extend([s] * (bounds[s + 1] - bounds[s]))
+        #: Slot -> shard id, the O(1) routing lookup used per message.
+        self.owner = owner
+        self._cut_table: Optional[List[List[Tuple[int, int]]]] = None
+
+    # ------------------------------------------------------------------ views
+    def slot_range(self, shard: int) -> range:
+        """The contiguous slot range owned by ``shard``."""
+        return range(self.bounds[shard], self.bounds[shard + 1])
+
+    def shard_of_slot(self, slot: int) -> int:
+        """Shard owning ``slot`` (bisection over the bounds)."""
+        if not 0 <= slot < len(self.owner):
+            raise ValueError(f"slot {slot} outside [0, {len(self.owner)})")
+        return self.owner[slot]
+
+    def shard_of_node(self, node) -> int:
+        """Shard owning ``node`` (via the topology's contiguous index)."""
+        return self.owner[self.topology.index_of(node)]
+
+    # --------------------------------------------------------- cut-edge table
+    def _build_cut_table(self) -> List[List[Tuple[int, int]]]:
+        """One CSR walk: per shard, its outgoing (sender, receiver) cut slots."""
+        topology = self.topology
+        indptr = topology.indptr
+        indices = topology.indices
+        owner = self.owner
+        table: List[List[Tuple[int, int]]] = [[] for _ in range(self.shards)]
+        for i in range(topology.number_of_nodes):
+            s = owner[i]
+            row = table[s]
+            for j in indices[indptr[i]:indptr[i + 1]]:
+                if owner[j] != s:
+                    row.append((i, j))
+        return table
+
+    def cut_edges_of(self, shard: int) -> List[Tuple[int, int]]:
+        """Directed cut edges leaving ``shard``: (local slot, remote slot).
+
+        Built once for all shards on first use and cached; each undirected
+        cut edge appears once per direction (in its sender's table).
+        """
+        if not 0 <= shard < self.shards:
+            raise ValueError(f"shard {shard} outside [0, {self.shards})")
+        if self._cut_table is None:
+            self._cut_table = self._build_cut_table()
+        return self._cut_table[shard]
+
+    def cut_summary(self) -> Dict[str, object]:
+        """Shape report: per-shard sizes and cut traffic (for benchmarks/tests)."""
+        if self._cut_table is None:
+            self._cut_table = self._build_cut_table()
+        indptr = self.topology.indptr
+        per_shard = []
+        for s in range(self.shards):
+            lo, hi = self.bounds[s], self.bounds[s + 1]
+            per_shard.append({
+                "shard": s,
+                "nodes": hi - lo,
+                "csr_edges": indptr[hi] - indptr[lo],
+                "cut_out": len(self._cut_table[s]),
+            })
+        directed_cut = sum(len(row) for row in self._cut_table)
+        return {
+            "shards": self.shards,
+            "bounds": list(self.bounds),
+            "cut_edges": directed_cut // 2,
+            "per_shard": per_shard,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return (
+            f"ShardPlan(shards={self.shards}, n={self.topology.number_of_nodes}, "
+            f"bounds={list(self.bounds)})"
+        )
+
+
+def partition_weights(weights: List[int], shards: int) -> List[int]:
+    """Contiguous boundaries splitting ``weights`` into balanced prefix sums.
+
+    The generic helper behind work-chunking in the sharded similarity sweep:
+    returns ``bounds`` of length ``shards + 1`` with ``bounds[0] == 0`` and
+    ``bounds[-1] == len(weights)``, chosen so each chunk's weight is close to
+    ``total / shards``.  Deterministic in its inputs.
+    """
+    n = len(weights)
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    shards = min(shards, max(1, n))
+    prefix = [0]
+    for w in weights:
+        prefix.append(prefix[-1] + max(0, int(w)))
+    total = prefix[-1]
+    bounds = [0]
+    for s in range(1, shards):
+        target = (total * s) // shards
+        cut = bisect_left(prefix, target, lo=bounds[-1], hi=n)
+        bounds.append(min(max(cut, bounds[-1] + 1), n - (shards - s)))
+    bounds.append(n)
+    return bounds

@@ -1,0 +1,196 @@
+"""The per-shard transport: local delivery plus cut-edge batches.
+
+A :class:`ShardRouter` is the transport a shard worker's
+:class:`~repro.congest.simulator.Simulator` runs on.  It owns one shard's
+half of a synchronous round:
+
+* validate and size every message the shard's nodes *send* (the identical
+  checks and charges the batch/slot backends apply — the router subclasses
+  :class:`~repro.congest.transport.BatchTransport` to share them);
+* split the sends into intra-shard deliveries and per-destination *cut-edge
+  batches* of ``(sender_slot, receiver_slot, payload)`` triples;
+* hand the coordinator the shard's ledger delta ``(count, bits, max)`` plus
+  the cut batches through its :class:`ShardChannel`, and block until the
+  coordinator routes back the cut batches addressed to this shard;
+* merge local and remote deliveries **in ascending sender-slot order** —
+  shards are contiguous slot ranges, so concatenating source batches in
+  shard order reproduces exactly the per-receiver inbox ordering a serial
+  run produces (senders step in ascending slot order there too).
+
+The router composes with the fault layer exactly like any backend: a worker
+wraps it in :class:`~repro.faults.transport.FaultyTransport`, whose per-edge
+decisions are pure functions of ``(master seed, round, sender, receiver)``
+and therefore independent of which shard evaluates them.  Fault filtering is
+*sender-side*: a message is dropped/corrupted/delayed before it is routed, so
+each decision is made exactly once, by the sending shard, with the same
+outcome the serial transport computes.
+
+Accounting is sender-side as well (each directed message is charged once, by
+its sender's shard), while the fault layer's ``delivered`` counter is
+receiver-side (each delivery lands in exactly one shard's exchange result) —
+both therefore sum across shards to the serial totals.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Iterable, List, Mapping, Optional, Tuple
+
+from repro.congest.errors import BandwidthExceeded
+from repro.congest.message import Message
+from repro.congest.topology import Topology
+from repro.congest.transport import BatchTransport, _memoized_bits
+from repro.metrics.ledger import Ledger
+from repro.shard.plan import ShardPlan
+
+Node = Hashable
+DirectedEdge = Tuple[Node, Node]
+
+#: One shard's ledger delta for one round: (message_count, total_bits, max_edge_bits).
+RoundStats = Tuple[int, int, int]
+
+#: A cut batch: (sender_slot, receiver_slot, unwrapped payload) triples, in
+#: the sender shard's send order (ascending sender slot).
+CutBatch = List[Tuple[int, int, Any]]
+
+
+class ShardAborted(RuntimeError):
+    """Raised inside a worker when the coordinator aborts the run."""
+
+
+class ShardChannel:
+    """One worker's connection to the round coordinator.
+
+    ``exchange_round`` must be called exactly once per communication round by
+    the shard's transport; it blocks until every shard has contributed and
+    returns the cut batches addressed to this shard, keyed by source shard.
+    Implementations exist for pipe-connected worker processes and for
+    in-process worker threads (see :mod:`repro.shard.sim`).
+    """
+
+    def exchange_round(
+        self, label: str, stats: RoundStats, cut: Dict[int, CutBatch]
+    ) -> Dict[int, CutBatch]:
+        raise NotImplementedError
+
+
+class ShardRouter(BatchTransport):
+    """Transport for one shard of a partitioned round-synchronous run."""
+
+    name = "shard"
+
+    def __init__(self, topology: Topology, mode: str, bandwidth_bits: int,
+                 ledger: Ledger, plan: ShardPlan, shard_id: int,
+                 channel: ShardChannel):
+        super().__init__(topology, mode, bandwidth_bits, ledger)
+        if not 0 <= shard_id < plan.shards:
+            raise ValueError(f"shard_id {shard_id} outside [0, {plan.shards})")
+        self.plan = plan
+        self.shard_id = shard_id
+        self.channel = channel
+
+    def exchange(self, messages: Mapping[DirectedEdge, Any],
+                 label: str = "exchange") -> Dict[DirectedEdge, Any]:
+        topology = self.topology
+        neighbor_sets = topology.neighbor_sets
+        index_of = topology.node_index
+        nodes = topology.nodes
+        owner = self.plan.owner
+        sid = self.shard_id
+        size_memo = self._round_memo()
+        count = 0
+        total_bits = 0
+        max_edge_bits = 0
+        worst_edge: Optional[DirectedEdge] = None
+        local: List[Tuple[DirectedEdge, Any]] = []
+        cut: Dict[int, CutBatch] = {}
+        for edge, payload in messages.items():
+            sender, receiver = edge
+            nbrs = neighbor_sets.get(sender)
+            if nbrs is None or receiver not in nbrs:
+                self._bad_edge(sender, receiver)
+            bits = _memoized_bits(payload, size_memo)
+            content = payload.content if isinstance(payload, Message) else payload
+            count += 1
+            total_bits += bits
+            if bits > max_edge_bits:
+                max_edge_bits = bits
+                worst_edge = edge
+            dest = owner[index_of[receiver]]
+            if dest == sid:
+                local.append((edge, content))
+            else:
+                batch = cut.get(dest)
+                if batch is None:
+                    batch = cut[dest] = []
+                batch.append((index_of[sender], index_of[receiver], content))
+        if (
+            self.mode == "congest"
+            and max_edge_bits > self.bandwidth_bits
+            and worst_edge is not None
+        ):
+            # Raised *before* the channel barrier: the worker loop reports the
+            # error and the coordinator aborts every other shard's round.
+            raise BandwidthExceeded(
+                worst_edge, max_edge_bits, self.bandwidth_bits, label
+            )
+        incoming = self.channel.exchange_round(
+            label, (count, total_bits, max_edge_bits), cut
+        )
+        # The worker-local ledger records the shard's own delta.  Its running
+        # totals are partial by construction; what the sharded execution
+        # shares with the serial run is the *clock* (one record per global
+        # round — crash schedules and delay slots count on it) while the
+        # coordinator's master ledger records the merged global round.
+        self.ledger.record_round(label, count, total_bits, max_edge_bits)
+        delivered: Dict[DirectedEdge, Any] = {}
+        for src in range(self.plan.shards):
+            if src == sid:
+                for edge, content in local:
+                    delivered[edge] = content
+            else:
+                batch = incoming.get(src)
+                if batch:
+                    for s_slot, r_slot, content in batch:
+                        delivered[(nodes[s_slot], nodes[r_slot])] = content
+        return delivered
+
+    def broadcast(
+        self,
+        values: Mapping[Node, Any],
+        label: str = "broadcast",
+        senders_only_to: Optional[Mapping[Node, Iterable[Node]]] = None,
+    ) -> Dict[Node, Mapping[Node, Any]]:
+        # Expand exactly like the reference backends (sender-major, neighbor
+        # order) and run the expansion through the sharded exchange; the
+        # round barrier happens once, inside it.
+        neighbors = self.topology.neighbors
+        messages: Dict[DirectedEdge, Any] = {}
+        for sender, payload in values.items():
+            nbrs = neighbors(sender)
+            if senders_only_to is not None and sender in senders_only_to:
+                for receiver in senders_only_to[sender]:
+                    if receiver not in nbrs:
+                        self._bad_edge(sender, receiver)
+                    messages[(sender, receiver)] = payload
+            else:
+                for receiver in nbrs:
+                    messages[(sender, receiver)] = payload
+        return self._inboxes(self.exchange(messages, label=label))
+
+    def exchange_chunked(
+        self,
+        messages: Mapping[DirectedEdge, Any],
+        label: str = "exchange-chunked",
+    ) -> Dict[DirectedEdge, Any]:
+        raise NotImplementedError(
+            "chunked primitives are not routed across shards; the sharded "
+            "simulator only drives exchange/broadcast rounds"
+        )
+
+    def charge_silent_round(self, label: str = "silent") -> None:
+        raise NotImplementedError(
+            "charge_silent_round is a solver-driver primitive; the sharded "
+            "simulator coordinates exactly one exchange barrier per round "
+            "(a node program that must stay synchronised simply sends "
+            "nothing, which costs the same empty round)"
+        )

@@ -1,0 +1,457 @@
+"""Partition-parallel execution of node programs: the ``ShardedSimulator``.
+
+One coordinator drives ``k`` shard workers, each running the **existing**
+:class:`~repro.congest.simulator.Simulator` over its contiguous slice of the
+topology (``Simulator(slots=...)``) on a :class:`~repro.shard.router
+.ShardRouter` transport.  Workers are persistent for the whole run — shard
+state (states, contexts, rngs, inboxes) is built once per worker, and each
+global round exchanges only cut-edge message batches and per-shard ledger
+deltas with the coordinator.
+
+Two worker runtimes share one protocol:
+
+* ``workers="fork"`` (default where available) — forked OS processes.  The
+  graph, topology and program are inherited copy-on-write, so nothing big is
+  ever pickled; workers call ``gc.freeze()`` after building their shard so
+  the inherited heap is exempt from their garbage collector.
+* ``workers="thread"`` — in-process threads, used as the portable fallback
+  and for deterministic debugging.  Identical bytes by construction: the
+  protocol, ordering rules and RNG streams do not depend on the runtime.
+
+Round protocol (all messages are small tuples):
+
+1. coordinator → all workers: ``("step", label)``;
+2. each worker either runs ``Simulator.step`` — whose ``exchange`` emits
+   ``("round", label, stats, cut_batches)`` and blocks — or, with no active
+   node, reports ``("skipped", active)``;
+3. if at least one shard exchanged, the coordinator tells skipped workers to
+   ``("absorb", label)`` (an empty exchange: their ledger clock ticks and
+   cut-edge mail addressed to them is still counted and delivered), merges
+   the per-shard deltas into **one master-ledger record** (``Σcount``,
+   ``Σbits``, ``max``), and routes every cut batch to its destination via
+   ``("deliver", {source_shard: batch})``;
+4. workers finish their ``step`` and report ``("stepped", active)``.
+
+If *no* shard exchanged, the round never happened — exactly the serial
+semantics, where ``Simulator.step`` returns ``False`` without touching the
+ledger once every node has halted (including halts forced by a crash
+schedule this very round).
+
+Determinism (see DESIGN.md "Sharded execution invariants"): per-node RNG
+streams are derived per node, never from execution order; per-receiver inbox
+ordering is ascending sender slot, which concatenating contiguous-shard
+batches in shard order reproduces exactly; fault decisions are pure
+functions of (master seed, round, edge) evaluated sender-side.  The merged
+ledgers, outputs, states, fault counters and halting behavior are therefore
+byte-identical to a serial run for any shard count and either runtime.
+"""
+
+from __future__ import annotations
+
+import gc
+import multiprocessing
+import pickle
+import queue
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.congest.network import Network
+from repro.congest.simulator import SimulationResult, Simulator
+from repro.congest.program import NodeProgram
+from repro.faults.transport import FaultyTransport
+from repro.metrics.ledger import Ledger
+from repro.shard.plan import ShardPlan
+from repro.shard.router import CutBatch, ShardAborted, ShardChannel, ShardRouter
+
+__all__ = ["ShardedSimulator", "make_simulator"]
+
+_JOIN_TIMEOUT_S = 10.0
+
+
+# --------------------------------------------------------------------------- #
+# Worker-side endpoints and channels
+# --------------------------------------------------------------------------- #
+
+class _PipeEndpoint:
+    """Worker side of a process pipe."""
+
+    def __init__(self, conn):
+        self.conn = conn
+
+    def send(self, msg: tuple) -> None:
+        self.conn.send(msg)
+
+    def recv(self) -> tuple:
+        return self.conn.recv()
+
+
+class _QueueEndpoint:
+    """Worker side of a thread channel (a pair of queues)."""
+
+    def __init__(self, inbox: "queue.Queue", outbox: "queue.Queue"):
+        self.inbox = inbox
+        self.outbox = outbox
+
+    def send(self, msg: tuple) -> None:
+        self.outbox.put(msg)
+
+    def recv(self) -> tuple:
+        return self.inbox.get()
+
+
+class _EndpointChannel(ShardChannel):
+    """The :class:`ShardChannel` a worker's router talks through."""
+
+    def __init__(self, endpoint):
+        self.endpoint = endpoint
+
+    def exchange_round(
+        self, label: str, stats: Tuple[int, int, int], cut: Dict[int, CutBatch]
+    ) -> Dict[int, CutBatch]:
+        self.endpoint.send(("round", label, stats, cut))
+        msg = self.endpoint.recv()
+        if msg[0] == "deliver":
+            return msg[1]
+        if msg[0] in ("abort", "stop"):
+            raise ShardAborted("coordinator aborted the run")
+        raise RuntimeError(f"unexpected coordinator message {msg[0]!r} mid-round")
+
+
+def _ship_exception(exc: BaseException) -> tuple:
+    """Encode an exception so the coordinator can re-raise it faithfully.
+
+    Custom constructors (e.g. ``BandwidthExceeded(edge, bits, budget,
+    label)``) do not survive the default exception pickling, so the class,
+    message and attribute dict travel separately and the coordinator rebuilds
+    the instance without calling ``__init__``.  Unpicklable classes or
+    attributes degrade to a ``RuntimeError`` carrying the original repr.
+    """
+    try:
+        payload = (type(exc), str(exc), dict(exc.__dict__))
+        pickle.dumps(payload)
+        return ("rebuild", payload)
+    except Exception:
+        return ("repr", f"{type(exc).__name__}: {exc}")
+
+
+def _unship_exception(shipped: tuple) -> BaseException:
+    kind, payload = shipped
+    if kind == "rebuild":
+        cls, message, attrs = payload
+        try:
+            exc = cls.__new__(cls)
+            Exception.__init__(exc, message)
+            exc.__dict__.update(attrs)
+            return exc
+        except Exception:
+            return RuntimeError(f"{cls.__name__}: {message}")
+    return RuntimeError(payload)
+
+
+def _worker_loop(endpoint, build) -> None:
+    """Serve one shard for the lifetime of a run (both runtimes share this)."""
+    try:
+        sim, network = build(_EndpointChannel(endpoint))
+    except BaseException as exc:  # noqa: BLE001 - must reach the coordinator
+        endpoint.send(("error", _ship_exception(exc)))
+        return
+    endpoint.send(("ready", sim.has_active))
+    while True:
+        msg = endpoint.recv()
+        kind = msg[0]
+        try:
+            if kind == "step":
+                before = network.ledger.rounds
+                if sim.has_active:
+                    sim.step(label=msg[1])
+                if network.ledger.rounds == before:
+                    # No exchange happened (no active nodes, or this round's
+                    # crashes emptied the shard): let the coordinator decide
+                    # whether the global round executes at all.
+                    endpoint.send(("skipped", sim.has_active))
+                else:
+                    endpoint.send(("stepped", sim.has_active))
+            elif kind == "absorb":
+                # Another shard exchanged this round: participate with an
+                # empty send so the clock, fault schedule and cut-edge
+                # deliveries addressed here stay in lockstep.
+                network.exchange({}, label=msg[1])
+                endpoint.send(("stepped", sim.has_active))
+            elif kind == "finish":
+                stats = getattr(network.transport, "fault_stats", None)
+                endpoint.send(("result", (
+                    sim.finish_outputs(), dict(sim.states),
+                    None if stats is None else stats.as_dict(),
+                )))
+            elif kind == "abort" or kind == "stop":
+                return
+            else:  # pragma: no cover - protocol misuse guard
+                raise RuntimeError(f"unknown coordinator command {kind!r}")
+        except ShardAborted:
+            return
+        except BaseException as exc:  # noqa: BLE001 - must reach the coordinator
+            endpoint.send(("error", _ship_exception(exc)))
+
+
+# --------------------------------------------------------------------------- #
+# Coordinator-side worker handles
+# --------------------------------------------------------------------------- #
+
+class _ProcessHandle:
+    def __init__(self, ctx, target):
+        self.conn, child_conn = ctx.Pipe()
+        self.process = ctx.Process(
+            target=target, args=(_PipeEndpoint(child_conn),), daemon=True
+        )
+        self.process.start()
+        child_conn.close()
+
+    def send(self, msg: tuple) -> None:
+        try:
+            self.conn.send(msg)
+        except (BrokenPipeError, OSError):
+            pass  # a dead worker is reported at the next recv
+
+    def recv(self) -> tuple:
+        try:
+            return self.conn.recv()
+        except EOFError:
+            return ("error", ("repr", "shard worker process died unexpectedly"))
+
+    def shutdown(self) -> None:
+        self.send(("stop",))
+        self.process.join(timeout=_JOIN_TIMEOUT_S)
+        if self.process.is_alive():  # pragma: no cover - hung-worker safety net
+            self.process.terminate()
+            self.process.join(timeout=_JOIN_TIMEOUT_S)
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover - double shutdown after an abort
+            pass
+
+
+class _ThreadHandle:
+    def __init__(self, target):
+        self.to_worker: "queue.Queue" = queue.Queue()
+        self.from_worker: "queue.Queue" = queue.Queue()
+        self.thread = threading.Thread(
+            target=target,
+            args=(_QueueEndpoint(self.to_worker, self.from_worker),),
+            daemon=True,
+        )
+        self.thread.start()
+
+    def send(self, msg: tuple) -> None:
+        self.to_worker.put(msg)
+
+    def recv(self) -> tuple:
+        return self.from_worker.get()
+
+    def shutdown(self) -> None:
+        self.to_worker.put(("stop",))
+        self.thread.join(timeout=_JOIN_TIMEOUT_S)
+
+
+# --------------------------------------------------------------------------- #
+# The sharded simulator
+# --------------------------------------------------------------------------- #
+
+class ShardedSimulator:
+    """Drive a :class:`NodeProgram` across persistent shard workers.
+
+    Same contract as :class:`~repro.congest.simulator.Simulator` —
+    ``run(max_rounds, label)`` returns an identical
+    :class:`SimulationResult`, the master ``network.ledger`` receives one
+    merged record per round, and fault counters land on the master
+    transport — for any ``shards`` count and either worker runtime.
+
+    ``network`` supplies the topology, mode, budget, ledger kind and fault
+    configuration; its own transport never carries a round (each worker
+    routes through its :class:`ShardRouter`).  In ``"fork"`` mode the
+    per-node ``outputs`` and ``states`` must be picklable to return to the
+    coordinator; programs must keep all per-node state in ``ctx.state`` (the
+    program object itself is not shared back across workers).
+    """
+
+    def __init__(self, network: Network, program: NodeProgram, seed: int = 0,
+                 shards: int = 2, workers: Optional[str] = None):
+        self.network = network
+        self.program = program
+        self.seed = seed
+        self.plan = ShardPlan(network.topology, shards)
+        self.shards = self.plan.shards
+        if workers is None:
+            workers = ("fork" if "fork" in multiprocessing.get_all_start_methods()
+                       else "thread")
+        if workers not in ("fork", "thread"):
+            raise ValueError(f"workers must be 'fork' or 'thread', got {workers!r}")
+        self.workers = workers
+        transport = network.transport
+        self._fault_plan = getattr(transport, "fault_plan", None)
+        self._fault_seed = getattr(transport, "fault_seed", 0)
+        if self._fault_plan is not None and network.ledger.rounds:
+            # Every fault decision — drop/corrupt draws as much as crash and
+            # delay schedules — is keyed on the ledger clock, and the
+            # shard-local clocks start at zero.
+            raise ValueError(
+                "fault plans count on the ledger clock; run the sharded "
+                "simulator on a network whose ledger has not recorded "
+                "rounds yet (shard-local clocks start at zero)"
+            )
+
+    # ----------------------------------------------------------------- workers
+    def _build_shard(self, shard_id: int, channel: ShardChannel):
+        """Construct one shard's network + simulator (runs in the worker)."""
+        network = self.network
+        ledger: Ledger = type(network.ledger)()
+        router = ShardRouter(
+            network.topology, network.mode, network.bandwidth_bits, ledger,
+            self.plan, shard_id, channel,
+        )
+        transport = router
+        if self._fault_plan is not None:
+            # The master budget is already throttled (make_transport applied
+            # the plan's factor at construction), so wrap without re-scaling.
+            transport = FaultyTransport(router, self._fault_plan,
+                                        seed=self._fault_seed)
+        shard_net = Network(network.graph, mode=network.mode, backend=transport)
+        sim = Simulator(shard_net, self.program, seed=self.seed,
+                        slots=self.plan.slot_range(shard_id))
+        if self.workers == "fork":
+            # The forked heap (graph, topology, program, shard state) is
+            # effectively immutable for the run; exempting it from the
+            # collector keeps per-round garbage scans small and avoids
+            # copy-on-write unsharing from GC flag updates.
+            gc.freeze()
+        return sim, shard_net
+
+    def _spawn(self) -> List[Any]:
+        handles: List[Any] = []
+        for shard_id in range(self.shards):
+            def target(endpoint, shard_id=shard_id):
+                _worker_loop(endpoint,
+                             lambda ch: self._build_shard(shard_id, ch))
+            if self.workers == "fork":
+                handles.append(_ProcessHandle(
+                    multiprocessing.get_context("fork"), target))
+            else:
+                handles.append(_ThreadHandle(target))
+        return handles
+
+    def _abort(self, handles: List[Any], shipped: tuple) -> None:
+        for handle in handles:
+            handle.send(("abort",))
+        for handle in handles:
+            handle.shutdown()
+        raise _unship_exception(shipped)
+
+    # --------------------------------------------------------------------- run
+    def run(self, max_rounds: int = 10_000, label: Optional[str] = None) -> SimulationResult:
+        """Run until every node halts or ``max_rounds`` rounds have elapsed."""
+        resolved = label or type(self.program).__name__
+        handles = self._spawn()
+        try:
+            active: List[bool] = []
+            for handle in handles:
+                msg = handle.recv()
+                if msg[0] == "error":
+                    self._abort(handles, msg[1])
+                active.append(msg[1])
+            executed = 0
+            while executed < max_rounds and any(active):
+                for handle in handles:
+                    handle.send(("step", resolved))
+                first: List[tuple] = []
+                for handle in handles:
+                    msg = handle.recv()
+                    if msg[0] == "error":
+                        self._abort(handles, msg[1])
+                    first.append(msg)
+                if not any(msg[0] == "round" for msg in first):
+                    # Every shard drained this round (voluntary halts from a
+                    # previous round, or crashes applied just now): the round
+                    # never executes, matching the serial driver.
+                    for i, msg in enumerate(first):
+                        active[i] = msg[1]
+                    break
+                for i, msg in enumerate(first):
+                    if msg[0] == "skipped":
+                        handles[i].send(("absorb", resolved))
+                        follow = handles[i].recv()
+                        if follow[0] == "error":
+                            self._abort(handles, follow[1])
+                        first[i] = follow
+                round_label = first[0][1]
+                total_count = total_bits = max_bits = 0
+                incoming: List[Dict[int, CutBatch]] = [dict() for _ in handles]
+                for src, msg in enumerate(first):
+                    _, _, stats, cut = msg
+                    total_count += stats[0]
+                    total_bits += stats[1]
+                    if stats[2] > max_bits:
+                        max_bits = stats[2]
+                    for dest, batch in cut.items():
+                        incoming[dest][src] = batch
+                for dest, handle in enumerate(handles):
+                    handle.send(("deliver", incoming[dest]))
+                for i, handle in enumerate(handles):
+                    msg = handle.recv()
+                    if msg[0] == "error":
+                        self._abort(handles, msg[1])
+                    active[i] = msg[1]
+                self.network.ledger.record_round(
+                    round_label, total_count, total_bits, max_bits
+                )
+                executed += 1
+            outputs: Dict[Any, Any] = {}
+            states: Dict[Any, Any] = {}
+            fault_totals: Optional[Dict[str, int]] = None
+            for handle in handles:
+                handle.send(("finish",))
+            for handle in handles:
+                msg = handle.recv()
+                if msg[0] == "error":
+                    self._abort(handles, msg[1])
+                shard_outputs, shard_states, shard_faults = msg[1]
+                outputs.update(shard_outputs)
+                states.update(shard_states)
+                if shard_faults is not None:
+                    if fault_totals is None:
+                        fault_totals = dict.fromkeys(shard_faults, 0)
+                    for key, value in shard_faults.items():
+                        if key == "crashed_nodes":
+                            # Every shard tracks the full (global) crash
+                            # schedule; the counts agree, so merging is max,
+                            # not sum.
+                            fault_totals[key] = max(fault_totals[key], value)
+                        else:
+                            fault_totals[key] = fault_totals[key] + value
+            if fault_totals is not None:
+                master_stats = getattr(self.network.transport, "fault_stats", None)
+                if master_stats is not None:
+                    master_stats.delivered_messages = fault_totals.get(
+                        "delivered_messages", 0)
+                    master_stats.dropped_messages = fault_totals.get(
+                        "dropped_messages", 0)
+                    master_stats.corrupted_messages = fault_totals.get(
+                        "corrupted_messages", 0)
+                    master_stats.crashed_nodes = fault_totals.get(
+                        "crashed_nodes", 0)
+            return SimulationResult(
+                rounds=executed,
+                outputs=outputs,
+                states=states,
+                halted=not any(active),
+            )
+        finally:
+            for handle in handles:
+                handle.shutdown()
+
+
+def make_simulator(network: Network, program: NodeProgram, seed: int = 0,
+                   shards: int = 1, workers: Optional[str] = None):
+    """Build the right driver for ``shards``: serial below 2, sharded above."""
+    if shards <= 1:
+        return Simulator(network, program, seed=seed)
+    return ShardedSimulator(network, program, seed=seed, shards=shards,
+                            workers=workers)

@@ -46,13 +46,13 @@ TINY_SPECS = [
 class TestRegistry:
     def test_expected_suites_exist(self):
         assert suite_names() == [
-            "bandwidth", "coloring", "detection", "robustness", "scale",
-            "scaling", "smoke"
+            "bandwidth", "coloring", "detection", "massive", "robustness",
+            "scale", "scaling", "smoke"
         ]
 
     @pytest.mark.parametrize(
-        "name", ["bandwidth", "coloring", "detection", "robustness", "scale",
-                 "scaling", "smoke"])
+        "name", ["bandwidth", "coloring", "detection", "massive", "robustness",
+                 "scale", "scaling", "smoke"])
     def test_every_suite_resolves_and_validates(self, name):
         specs = get_suite(name)
         assert specs
@@ -147,10 +147,12 @@ class TestRunner:
         parallel = run_scenarios(TINY_SPECS, workers=2, suite="tiny")
         assert canonical_dumps(aggregate_suite(serial)) == \
             canonical_dumps(aggregate_suite(parallel))
-        # Trial rows match too, apart from wall-clock.
+        # Trial rows match too, apart from the machine-state fields
+        # (wall-clock and the process RSS high-water mark).
         for a, b in zip(serial.rows(), parallel.rows()):
             a, b = dict(a), dict(b)
             a.pop("wall_s"), b.pop("wall_s")
+            a.pop("peak_rss_mb"), b.pop("peak_rss_mb")
             assert a == b
 
     def test_backend_does_not_change_aggregates(self):
@@ -499,3 +501,44 @@ class TestSeedOverride:
         assert findings[0].metric == "seed"
         # Matching overrides gate normally.
         assert compare_summaries(with_seed, with_seed) == []
+
+
+class TestPeakRss:
+    """Per-scenario peak RSS rides in the timing artifact, never the aggregate."""
+
+    def test_trial_rows_carry_peak_rss(self):
+        row = run_trial(TINY_SPECS[0], 0)
+        assert row["peak_rss_mb"] > 0
+
+    def test_timing_summary_reports_scenario_maximum(self):
+        result = run_scenarios(TINY_SPECS, suite="tiny")
+        timing = timing_summary(result)
+        assert set(timing["peak_rss_mb"]) == {"tiny-d1c", "tiny-johansson"}
+        for scenario in result.scenarios:
+            expected = max(r["peak_rss_mb"] for r in scenario.rows)
+            assert timing["peak_rss_mb"][scenario.spec.name] == expected
+
+    def test_timing_artifact_gains_peak_rss_column(self, tmp_path):
+        result = run_scenarios(TINY_SPECS, suite="tiny")
+        paths = write_suite_artifacts(result, tmp_path)
+        entry = load_suite_timing(paths["timing"], suite="tiny")
+        assert set(entry["peak_rss_mb"]) == set(entry["scenarios"])
+        assert all(v > 0 for v in entry["peak_rss_mb"].values())
+
+    def test_aggregate_stays_free_of_machine_state(self):
+        result = run_scenarios(TINY_SPECS, suite="tiny")
+        text = canonical_dumps(aggregate_suite(result))
+        assert "peak_rss_mb" not in text
+        assert "wall_s" not in text
+
+    def test_merge_timing_preserves_entries_without_rss(self, tmp_path):
+        # Older (pre-column) entries merge untouched next to new ones.
+        path = tmp_path / "timing.json"
+        merge_timing(path, {"suite": "legacy", "total_wall_s": 1.0,
+                            "scenarios": {"a": 1.0}})
+        merge_timing(path, {"suite": "fresh", "total_wall_s": 2.0,
+                            "scenarios": {"b": 2.0},
+                            "peak_rss_mb": {"b": 64.0}})
+        data = load_suite_timing(path)
+        assert "peak_rss_mb" not in data["suites"]["legacy"]
+        assert data["suites"]["fresh"]["peak_rss_mb"] == {"b": 64.0}

@@ -10,6 +10,7 @@ from repro.graphs import (
     exact_global_sparsity,
     exact_local_sparsity,
     four_cycle_rich_graph,
+    gnp_fast_graph,
     gnp_graph,
     huge_color_space_lists,
     is_balanced_edge,
@@ -242,3 +243,41 @@ class TestProperties:
                 continue
             sparsity = exact_local_sparsity(g, v)
             assert -1e-9 <= sparsity <= (d - 1) / 2 + 1e-9
+
+
+class TestGnpFast:
+    """The sparse-time G(n, p) family (Batagelj–Brandes skipping)."""
+
+    def test_deterministic_per_seed(self):
+        a = gnp_fast_graph(300, p=0.02, seed=7)
+        b = gnp_fast_graph(300, p=0.02, seed=7)
+        assert set(a.edges()) == set(b.edges())
+        c = gnp_fast_graph(300, p=0.02, seed=8)
+        assert set(a.edges()) != set(c.edges())
+
+    def test_avg_degree_targets_density(self):
+        g = gnp_fast_graph(2000, avg_degree=8.0, seed=3)
+        assert g.number_of_nodes() == 2000
+        avg = 2.0 * g.number_of_edges() / g.number_of_nodes()
+        assert 6.0 <= avg <= 10.0  # concentration around 8
+
+    def test_isolated_nodes_kept(self):
+        g = gnp_fast_graph(50, p=0.0, seed=0)
+        assert g.number_of_nodes() == 50 and g.number_of_edges() == 0
+
+    def test_rejects_ambiguous_density(self):
+        with pytest.raises(ValueError):
+            gnp_fast_graph(10)
+        with pytest.raises(ValueError):
+            gnp_fast_graph(10, p=0.1, avg_degree=5.0)
+        with pytest.raises(ValueError):
+            gnp_fast_graph(10, p=1.5)
+        with pytest.raises(ValueError):
+            gnp_fast_graph(10, avg_degree=-1.0)
+
+    def test_distinct_family_from_gnp(self):
+        # Committed gnp baselines rely on gnp's edge stream never changing;
+        # the fast family is intentionally separate rather than a drop-in.
+        a = gnp_graph(100, 0.1, seed=5)
+        b = gnp_fast_graph(100, p=0.1, seed=5)
+        assert set(a.edges()) != set(b.edges())
