@@ -39,6 +39,7 @@ def johansson_coloring(
     faults=None,
     fault_seed: Optional[int] = None,
     shards: int = 1,
+    tracer=None,
 ) -> ColoringResult:
     """Color ``graph`` by iterated random color trials.
 
@@ -56,7 +57,7 @@ def johansson_coloring(
     network = Network(graph, mode=mode, backend=backend, ledger=ledger,
                       faults=faults,
                       fault_seed=seed if fault_seed is None else fault_seed,
-                      shards=shards)
+                      shards=shards, tracer=tracer)
     state = ColoringState(instance, network, params)
     if max_iterations is None:
         max_iterations = 8 * max(4, graph.number_of_nodes().bit_length() ** 2)
@@ -65,5 +66,7 @@ def johansson_coloring(
         uncolored = state.uncolored_nodes()
         if not uncolored:
             break
+        if network.tracer.enabled:
+            network.tracer.note_nodes(len(uncolored), network.number_of_nodes)
         try_random_color(state, uncolored, label="johansson")
     return _build_result(state, fallback_count=0)

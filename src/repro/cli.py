@@ -15,6 +15,9 @@ be run without writing Python::
     python -m repro.cli suite run smoke --faults drop=0.01,corrupt=1e-4
     python -m repro.cli suite run robustness --workers 4
     python -m repro.cli suite run smoke --seed 7 --out /tmp/reseeded
+    python -m repro.cli suite run smoke --trace /tmp/traces --progress
+    python -m repro.cli trace summarize TRACE_powerlaw-d1lc.jsonl
+    python -m repro.cli trace compare /tmp/a/TRACE_gnp-d1c.jsonl /tmp/b/TRACE_gnp-d1c.jsonl
     python -m repro.cli suite compare --baseline BENCH_suite.json
     python -m repro.cli suite compare --baseline BENCH_suite.json --timing-budget 50
     python -m repro.cli suite compare --baseline BENCH_robustness.json
@@ -30,6 +33,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 from typing import List, Optional
 
@@ -219,21 +223,38 @@ def cmd_suite_run(args: argparse.Namespace) -> int:
         write_suite_artifacts,
     )
 
+    from repro.obs import Heartbeat, current_rss_mb
+
+    started = time.perf_counter()
+    # --progress heartbeats go to stderr (plain lines, one per completed
+    # trial) so they never disturb stdout tables or artifact bytes.
+    heartbeat = Heartbeat(interval_s=0.0) if args.progress else None
+
     def progress(row):
-        status = "ok" if row.get("valid") else "INVALID"
-        print(f"  {row['scenario']} trial {row['trial']}: {status} "
-              f"({row['wall_s']}s)")
+        if args.verbose:
+            status = "ok" if row.get("valid") else "INVALID"
+            print(f"  {row['scenario']} trial {row['trial']}: {status} "
+                  f"({row['wall_s']}s)")
+        if heartbeat is not None:
+            heartbeat.beat(
+                f"[suite] {row['scenario']} trial {row['trial']}: "
+                f"rounds={row.get('rounds', '-')} "
+                f"elapsed={round(time.perf_counter() - started, 1)}s "
+                f"rss={current_rss_mb()}MiB"
+            )
 
     out_dir = Path(args.out)
     profile_dir = out_dir if args.profile else None
+    trace_dir = Path(args.trace) if args.trace else None
     if args.profile and args.workers > 1:
         print("profiling forces serial execution; ignoring --workers")
     faults = _parse_faults(args.faults) if args.faults else None
     result = run_suite(
         args.suite, workers=args.workers, backend=args.backend,
-        trials=args.trials, progress=progress if args.verbose else None,
+        trials=args.trials,
+        progress=progress if (args.verbose or args.progress) else None,
         only=args.only, profile_dir=profile_dir, seed=args.seed,
-        faults=faults, shards=args.shards,
+        faults=faults, shards=args.shards, trace_dir=trace_dir,
     )
     summary = aggregate_suite(result)
     timing = timing_summary(result)
@@ -250,6 +271,14 @@ def cmd_suite_run(args: argparse.Namespace) -> int:
     written = ", ".join(str(paths[kind]) for kind in ("suite", "trials", "timing")
                         if kind in paths)
     print(f"\nwrote {written}")
+    if trace_dir is not None:
+        from repro.obs import trace_filename
+
+        traces = ", ".join(
+            str(trace_dir / trace_filename(s.spec.name))
+            for s in result.scenarios
+        )
+        print(f"traces: {traces}")
     if args.profile:
         print("profiled run: timing artifact not refreshed "
               "(wall-clock includes profiler overhead)")
@@ -341,6 +370,40 @@ def cmd_suite_compare(args: argparse.Namespace) -> int:
         return 0
     print("\nregression gate: FAIL")
     return 1
+
+
+def cmd_trace_summarize(args: argparse.Namespace) -> int:
+    from repro.obs import load_trace, render_timeline, summarize_trace
+
+    for index, path in enumerate(args.trace):
+        if index:
+            print()
+        events = load_trace(Path(path))
+        print(render_timeline(
+            summarize_trace(events),
+            title=f"phase timeline: {Path(path).name}",
+        ))
+    return 0
+
+
+def cmd_trace_compare(args: argparse.Namespace) -> int:
+    from repro.obs import TRACE_PREFIX, compare_traces, load_trace, render_comparison
+
+    def short(path: Path) -> str:
+        stem = path.stem
+        return stem[len(TRACE_PREFIX):] if stem.startswith(TRACE_PREFIX) else stem
+
+    path_a, path_b = Path(args.a), Path(args.b)
+    name_a, name_b = short(path_a), short(path_b)
+    if name_a == name_b:
+        # Same scenario from two runs: disambiguate by parent directory.
+        name_a = f"{path_a.parent.name or 'a'}/{name_a}"
+        name_b = f"{path_b.parent.name or 'b'}/{name_b}"
+    events_a = load_trace(path_a)
+    events_b = load_trace(path_b)
+    print(render_comparison(events_a, events_b, name_a=name_a, name_b=name_b))
+    # diff semantics: exit 1 when the deterministic columns drifted.
+    return 1 if compare_traces(events_a, events_b) else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -451,6 +514,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "fields include profiler overhead)")
     s_run.add_argument("--verbose", action="store_true",
                        help="print each trial as it completes")
+    s_run.add_argument("--trace", default=None, metavar="DIR",
+                       help="attach a round tracer to every trial and write "
+                            "one TRACE_<scenario>.jsonl per scenario into DIR "
+                            "(observation-only: artifacts stay byte-identical "
+                            "to an untraced run)")
+    s_run.add_argument("--progress", action="store_true",
+                       help="emit a plain heartbeat line to stderr per "
+                            "completed trial (elapsed, rounds, current RSS); "
+                            "off by default, never changes artifacts")
     s_run.set_defaults(func=cmd_suite_run)
 
     s_compare = suite_sub.add_parser(
@@ -476,6 +548,28 @@ def build_parser() -> argparse.ArgumentParser:
                            help="committed timing snapshot for --timing-budget")
     add_suite_run_options(s_compare)
     s_compare.set_defaults(func=cmd_suite_compare)
+
+    trace = sub.add_parser(
+        "trace", help="summarize or diff TRACE_*.jsonl round traces"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    t_sum = trace_sub.add_parser(
+        "summarize",
+        help="render a trace's phase timeline (rounds, bits, wall time per phase)",
+    )
+    t_sum.add_argument("trace", nargs="+", help="TRACE_*.jsonl file(s)")
+    t_sum.set_defaults(func=cmd_trace_summarize)
+
+    t_cmp = trace_sub.add_parser(
+        "compare",
+        help="diff two traces per phase; exits 1 when the deterministic "
+             "columns (rounds/messages/bits) drifted, wall-clock is "
+             "informational only",
+    )
+    t_cmp.add_argument("a", help="first TRACE_*.jsonl")
+    t_cmp.add_argument("b", help="second TRACE_*.jsonl")
+    t_cmp.set_defaults(func=cmd_trace_compare)
     return parser
 
 

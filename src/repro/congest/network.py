@@ -41,6 +41,7 @@ from repro.metrics.ledger import (  # noqa: F401  (RoundRecord re-exported)
     ledger_class,
     make_ledger,
 )
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 Node = Hashable
 DirectedEdge = Tuple[Node, Node]
@@ -94,6 +95,14 @@ class Network:
         — see :mod:`repro.shard`) fan their compute over ``shards``
         persistent workers, producing bit-identical outputs and charging the
         identical ledger.
+    tracer:
+        Optional :class:`~repro.obs.tracer.Tracer` observing this run.  The
+        default is the shared :data:`~repro.obs.tracer.NULL_TRACER`, which
+        installs nothing — untraced runs execute the exact code they always
+        did.  Passing a :class:`~repro.obs.tracer.RoundTracer` attaches it to
+        the ledger's round seam; tracing is observation-only (no RNG, no
+        state mutation) and a traced run is byte-identical to an untraced
+        one.
     """
 
     def __init__(
@@ -107,6 +116,7 @@ class Network:
         faults: Any = None,
         fault_seed: int = 0,
         shards: int = 1,
+        tracer: Optional[Tracer] = None,
     ):
         if mode not in ("congest", "local"):
             raise ValueError(f"unknown mode: {mode!r}")
@@ -176,6 +186,9 @@ class Network:
             # throttle factor may have scaled it at construction.
             self.bandwidth_bits = self.transport.bandwidth_bits
         self.backend = self.transport.name
+        self.tracer: Tracer = NULL_TRACER if tracer is None else tracer
+        if self.tracer.enabled:
+            self.tracer.attach(self)
 
     # ------------------------------------------------------------------ views
     @property

@@ -136,6 +136,11 @@ class Simulator:
         """True while at least one owned node has not halted."""
         return bool(self._active)
 
+    @property
+    def active_count(self) -> int:
+        """Number of owned nodes that have not halted."""
+        return len(self._active)
+
     def _context(self, node: Node) -> ProgramContext:
         ctx = self._contexts[node]
         ctx.round_index = self._round_index
@@ -184,6 +189,10 @@ class Simulator:
         state_list = self._state_list
         program_step = self.program.step
         round_index = self._round_index
+        tracer = self.network.tracer
+        if tracer.enabled:
+            # Observation only: counts as of the round about to execute.
+            tracer.note_nodes(len(active), len(self._owned))
         outgoing = self._outgoing
         outgoing.clear()
         for i in active:

@@ -69,6 +69,7 @@ def solve_instance(
     faults=None,
     fault_seed: Optional[int] = None,
     shards: int = 1,
+    tracer=None,
 ) -> ColoringResult:
     """Run the full D1LC pipeline on a prepared instance.
 
@@ -82,6 +83,11 @@ def solve_instance(
     (seed, plan) pair reproduces byte-identically on every backend.  The
     resulting :class:`ColoringResult` then carries ``fault_stats`` and its
     validity reports how the coloring held up *under* the faults.
+
+    ``tracer`` optionally attaches a :class:`~repro.obs.tracer.RoundTracer`
+    to the run's network.  Tracing is observation-only (no RNG, no state
+    mutation; the result is byte-identical either way), and the caller that
+    built the tracer owns closing it — ``solve_instance`` never does.
     """
     params = params or ColoringParameters.small()
     if seed is not None:
@@ -95,6 +101,7 @@ def solve_instance(
         faults=faults,
         fault_seed=params.seed if fault_seed is None else fault_seed,
         shards=shards,
+        tracer=tracer,
     )
     state = ColoringState(instance, network, params)
 
@@ -105,6 +112,9 @@ def solve_instance(
         }
         if not active:
             break
+        if network.tracer.enabled:
+            # Observation only: pipeline-level progress for the trace.
+            network.tracer.note_nodes(len(active), network.number_of_nodes)
         uncolored_before = len(state.uncolored_nodes())
         acd = compute_acd(network, params, active=active)
         run_sparse_phase(state, acd, label="sparse")
@@ -129,6 +139,7 @@ def solve_d1lc(
     faults=None,
     fault_seed: Optional[int] = None,
     shards: int = 1,
+    tracer=None,
 ) -> ColoringResult:
     """Solve (degree+1)-list-coloring on ``graph`` (Theorem 1).
 
@@ -144,7 +155,7 @@ def solve_d1lc(
     return solve_instance(
         instance, params=params, mode=mode, bandwidth_bits=bandwidth_bits,
         seed=seed, backend=backend, ledger=ledger, faults=faults,
-        fault_seed=fault_seed, shards=shards,
+        fault_seed=fault_seed, shards=shards, tracer=tracer,
     )
 
 
@@ -159,12 +170,14 @@ def solve_d1c(
     faults=None,
     fault_seed: Optional[int] = None,
     shards: int = 1,
+    tracer=None,
 ) -> ColoringResult:
     """Solve (deg+1)-coloring (Corollary 1)."""
     return solve_instance(
         ColoringInstance.d1c(graph), params=params, mode=mode,
         bandwidth_bits=bandwidth_bits, seed=seed, backend=backend,
         ledger=ledger, faults=faults, fault_seed=fault_seed, shards=shards,
+        tracer=tracer,
     )
 
 
@@ -179,10 +192,12 @@ def solve_delta_plus_one(
     faults=None,
     fault_seed: Optional[int] = None,
     shards: int = 1,
+    tracer=None,
 ) -> ColoringResult:
     """Solve (Δ+1)-coloring with the same pipeline."""
     return solve_instance(
         ColoringInstance.delta_plus_one(graph), params=params, mode=mode,
         bandwidth_bits=bandwidth_bits, seed=seed, backend=backend,
         ledger=ledger, faults=faults, fault_seed=fault_seed, shards=shards,
+        tracer=tracer,
     )

@@ -51,6 +51,7 @@ from repro.experiments.runner import (
     profile_filename,
     run_scenarios,
     run_suite,
+    run_traced_trial,
     run_trial,
 )
 from repro.experiments.spec import ScenarioSpec, derive_seed, trial_seeds
@@ -82,6 +83,7 @@ __all__ = [
     "profile_filename",
     "run_scenarios",
     "run_suite",
+    "run_traced_trial",
     "run_trial",
     "suite_names",
     "timing_summary",

@@ -8,7 +8,11 @@ executable trial:
   (clique membership, triangle-rich edges) for scoring, or ``None``.
 * ``SOLVERS`` — ``name -> solver(spec, graph, truth, seed)`` returning a flat
   metrics dict for one trial.  All coloring solvers share the same metric
-  schema so suites can be aggregated and diffed uniformly.
+  schema so suites can be aggregated and diffed uniformly.  Every solver also
+  accepts an optional ``tracer=`` keyword (a
+  :class:`~repro.obs.tracer.RoundTracer`) attached to the trial's network —
+  tracing is observation-only, so trial metrics are byte-identical either
+  way; the runner owns the tracer's lifecycle.
 * ``SUITES`` — the named scenario collections the CLI exposes
   (``smoke``, ``coloring``, ``bandwidth``, ``detection``, ``scaling``,
   ``scale``, ``robustness``, ``massive``).  The suites absorb the workloads of the
@@ -238,47 +242,56 @@ def _solver_params(spec: ScenarioSpec, seed: int) -> ColoringParameters:
     )
 
 
-def _solve_d1c(spec: ScenarioSpec, graph: nx.Graph, truth, seed: int):
+def _solve_d1c(spec: ScenarioSpec, graph: nx.Graph, truth, seed: int,
+               tracer=None):
     result = solve_d1c(
         graph, params=_solver_params(spec, seed), mode=spec.mode,
         bandwidth_bits=spec.bandwidth_bits, backend=spec.backend,
-        ledger=spec.ledger, shards=spec.shards, **_fault_kwargs(spec, seed),
+        ledger=spec.ledger, shards=spec.shards, tracer=tracer,
+        **_fault_kwargs(spec, seed),
     )
     return _coloring_metrics(result, graph)
 
 
-def _solve_d1lc(spec: ScenarioSpec, graph: nx.Graph, truth, seed: int):
+def _solve_d1lc(spec: ScenarioSpec, graph: nx.Graph, truth, seed: int,
+                tracer=None):
     lists = _build_lists(spec, graph, seed)
     result = solve_d1lc(
         graph, lists, params=_solver_params(spec, seed), mode=spec.mode,
         bandwidth_bits=spec.bandwidth_bits, backend=spec.backend,
-        ledger=spec.ledger, shards=spec.shards, **_fault_kwargs(spec, seed),
+        ledger=spec.ledger, shards=spec.shards, tracer=tracer,
+        **_fault_kwargs(spec, seed),
     )
     return _coloring_metrics(result, graph)
 
 
-def _solve_delta_plus_one(spec: ScenarioSpec, graph: nx.Graph, truth, seed: int):
+def _solve_delta_plus_one(spec: ScenarioSpec, graph: nx.Graph, truth,
+                          seed: int, tracer=None):
     result = solve_delta_plus_one(
         graph, params=_solver_params(spec, seed), mode=spec.mode,
         bandwidth_bits=spec.bandwidth_bits, backend=spec.backend,
-        ledger=spec.ledger, shards=spec.shards, **_fault_kwargs(spec, seed),
+        ledger=spec.ledger, shards=spec.shards, tracer=tracer,
+        **_fault_kwargs(spec, seed),
     )
     return _coloring_metrics(result, graph)
 
 
-def _solve_johansson(spec: ScenarioSpec, graph: nx.Graph, truth, seed: int):
+def _solve_johansson(spec: ScenarioSpec, graph: nx.Graph, truth, seed: int,
+                     tracer=None):
     result = johansson_coloring(
         graph, mode=spec.mode, seed=seed, backend=spec.backend,
-        ledger=spec.ledger, shards=spec.shards, **_fault_kwargs(spec, seed),
+        ledger=spec.ledger, shards=spec.shards, tracer=tracer,
+        **_fault_kwargs(spec, seed),
     )
     return _coloring_metrics(result, graph)
 
 
-def _solve_acd(spec: ScenarioSpec, graph: nx.Graph, truth, seed: int):
+def _solve_acd(spec: ScenarioSpec, graph: nx.Graph, truth, seed: int,
+               tracer=None):
     network = Network(
         graph, mode=spec.mode, bandwidth_bits=spec.bandwidth_bits,
         backend=spec.backend, ledger=spec.ledger, shards=spec.shards,
-        **_fault_kwargs(spec, seed),
+        tracer=tracer, **_fault_kwargs(spec, seed),
     )
     params = ColoringParameters.small(seed=seed)
     variant = spec.solver_params.get("variant", "hashed")
@@ -304,7 +317,8 @@ def _solve_acd(spec: ScenarioSpec, graph: nx.Graph, truth, seed: int):
     return metrics
 
 
-def _solve_multitrial(spec: ScenarioSpec, graph: nx.Graph, truth, seed: int):
+def _solve_multitrial(spec: ScenarioSpec, graph: nx.Graph, truth, seed: int,
+                      tracer=None):
     tries = int(spec.solver_params.get("tries", 4))
     variant = spec.solver_params.get("variant", "hashed")
     delta = max((d for _, d in graph.degree()), default=0)
@@ -315,7 +329,7 @@ def _solve_multitrial(spec: ScenarioSpec, graph: nx.Graph, truth, seed: int):
     network = Network(
         graph, mode=spec.mode, bandwidth_bits=spec.bandwidth_bits,
         backend=spec.backend, ledger=spec.ledger, shards=spec.shards,
-        **_fault_kwargs(spec, seed),
+        tracer=tracer, **_fault_kwargs(spec, seed),
     )
     state = ColoringState(instance, network, ColoringParameters.small(seed=seed))
     if variant == "hashed":
@@ -343,11 +357,12 @@ def _solve_multitrial(spec: ScenarioSpec, graph: nx.Graph, truth, seed: int):
     return metrics
 
 
-def _solve_triangles(spec: ScenarioSpec, graph: nx.Graph, truth, seed: int):
+def _solve_triangles(spec: ScenarioSpec, graph: nx.Graph, truth, seed: int,
+                     tracer=None):
     network = Network(
         graph, mode=spec.mode, bandwidth_bits=spec.bandwidth_bits,
         backend=spec.backend, ledger=spec.ledger, shards=spec.shards,
-        **_fault_kwargs(spec, seed),
+        tracer=tracer, **_fault_kwargs(spec, seed),
     )
     eps = float(spec.solver_params.get("eps", 0.3))
     result = detect_triangle_rich_edges(network, eps=eps, seed=seed)
@@ -372,11 +387,12 @@ def _solve_triangles(spec: ScenarioSpec, graph: nx.Graph, truth, seed: int):
     return metrics
 
 
-def _solve_four_cycles(spec: ScenarioSpec, graph: nx.Graph, truth, seed: int):
+def _solve_four_cycles(spec: ScenarioSpec, graph: nx.Graph, truth, seed: int,
+                       tracer=None):
     network = Network(
         graph, mode=spec.mode, bandwidth_bits=spec.bandwidth_bits,
         backend=spec.backend, ledger=spec.ledger, shards=spec.shards,
-        **_fault_kwargs(spec, seed),
+        tracer=tracer, **_fault_kwargs(spec, seed),
     )
     eps = float(spec.solver_params.get("eps", 0.3))
     result = detect_four_cycle_rich_pairs(network, eps=eps, seed=seed)

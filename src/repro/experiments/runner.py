@@ -28,6 +28,8 @@ import repro
 
 from repro.experiments.registry import GRAPH_FAMILIES, SOLVERS, validate_spec
 from repro.experiments.spec import ScenarioSpec, trial_seeds
+from repro.obs.artifacts import trace_filename, write_trace
+from repro.obs.tracer import RoundTracer
 
 #: Row keys describing execution rather than the measured workload; they are
 #: excluded from aggregation (timing/memory) or aggregated specially
@@ -103,12 +105,19 @@ class SuiteResult:
         raise KeyError(f"no scenario named {scenario_name!r} in suite {self.suite!r}")
 
 
-def run_trial(spec: ScenarioSpec, trial: int) -> Dict[str, object]:
-    """Execute one trial of ``spec`` and return its flat row."""
+def run_trial(spec: ScenarioSpec, trial: int,
+              tracer: Optional[RoundTracer] = None) -> Dict[str, object]:
+    """Execute one trial of ``spec`` and return its flat row.
+
+    ``tracer`` optionally observes the trial's run (forwarded to the solver's
+    network).  Tracing is observation-only, so the returned row is
+    byte-identical with or without it; the caller owns closing the tracer.
+    """
     graph_seed, solver_seed = trial_seeds(spec, trial)
     graph, truth = GRAPH_FAMILIES[spec.family](graph_seed, **dict(spec.family_params))
     start = time.perf_counter()
-    metrics = SOLVERS[spec.solver](spec, graph, truth, solver_seed)
+    metrics = SOLVERS[spec.solver](spec, graph, truth, solver_seed,
+                                   tracer=tracer)
     wall_s = time.perf_counter() - start
     row: Dict[str, object] = {
         "scenario": spec.name,
@@ -124,6 +133,26 @@ def run_trial(spec: ScenarioSpec, trial: int) -> Dict[str, object]:
     row["wall_s"] = round(wall_s, 4)
     row["peak_rss_mb"] = peak_rss_mb()
     return row
+
+
+def run_traced_trial(spec: ScenarioSpec, trial: int):
+    """Execute one traced trial; return ``(row, trace_events)``.
+
+    The events are plain JSON-serializable dicts, so the pair crosses the
+    process-pool boundary like any other result and the parent can write
+    per-scenario ``TRACE_*.jsonl`` artifacts in deterministic trial order.
+    """
+    tracer = RoundTracer(meta={
+        "scenario": spec.name,
+        "trial": trial,
+        "solver": spec.solver,
+        "family": spec.family,
+    })
+    try:
+        row = run_trial(spec, trial, tracer=tracer)
+    finally:
+        tracer.close()
+    return row, tracer.events
 
 
 @contextlib.contextmanager
@@ -158,6 +187,7 @@ def run_scenarios(
     suite: str = "adhoc",
     progress=None,
     profile_dir: Optional[Path] = None,
+    trace_dir: Optional[Path] = None,
 ) -> SuiteResult:
     """Run every trial of every spec, serially or across worker processes.
 
@@ -172,6 +202,12 @@ def run_scenarios(
     trial artifacts.  Profiling forces serial execution (``workers`` is
     ignored) and inflates the ``wall_s`` fields with profiler overhead, so a
     profiled run must not be used to refresh timing baselines.
+
+    ``trace_dir`` attaches a :class:`~repro.obs.tracer.RoundTracer` to every
+    trial and writes one ``TRACE_<scenario>.jsonl`` per scenario into that
+    directory (all trials, in trial order).  Tracing is observation-only:
+    rows and aggregates are byte-identical to an untraced run, whatever the
+    worker count.
     """
     for spec in specs:
         validate_spec(spec)
@@ -179,7 +215,19 @@ def run_scenarios(
              for index, spec in enumerate(specs)
              for trial in range(spec.trials)]
     results: Dict[tuple, Dict[str, object]] = {}
+    traces: Dict[tuple, List[Dict[str, object]]] = {}
     suite_start = time.perf_counter()
+
+    def record(key, outcome) -> Dict[str, object]:
+        # One unpacking seam for all three execution paths: traced tasks
+        # return (row, events), untraced ones just the row.
+        if trace_dir is None:
+            results[key] = outcome
+        else:
+            results[key], traces[key] = outcome
+        return results[key]
+
+    task = run_trial if trace_dir is None else run_traced_trial
     if profile_dir is not None:
         profile_dir = Path(profile_dir)
         profile_dir.mkdir(parents=True, exist_ok=True)
@@ -187,9 +235,9 @@ def run_scenarios(
             profiler = cProfile.Profile()
             for trial in range(spec.trials):
                 profiler.enable()
-                row = run_trial(spec, trial)
+                outcome = task(spec, trial)
                 profiler.disable()
-                results[(index, trial)] = row
+                row = record((index, trial), outcome)
                 if progress is not None:
                     progress(row)
             stream = io.StringIO()
@@ -198,8 +246,7 @@ def run_scenarios(
             (profile_dir / profile_filename(spec.name)).write_text(stream.getvalue())
     elif workers <= 1 or len(tasks) <= 1:
         for index, spec, trial in tasks:
-            row = run_trial(spec, trial)
-            results[(index, trial)] = row
+            row = record((index, trial), task(spec, trial))
             if progress is not None:
                 progress(row)
     else:
@@ -207,13 +254,22 @@ def run_scenarios(
             max_workers=min(workers, len(tasks)),
         ) as pool:
             futures = {
-                pool.submit(run_trial, spec, trial): (index, trial)
+                pool.submit(task, spec, trial): (index, trial)
                 for index, spec, trial in tasks
             }
             for future, key in futures.items():
-                results[key] = future.result()
+                row = record(key, future.result())
                 if progress is not None:
-                    progress(results[key])
+                    progress(row)
+
+    if trace_dir is not None:
+        trace_dir = Path(trace_dir)
+        trace_dir.mkdir(parents=True, exist_ok=True)
+        for index, spec in enumerate(specs):
+            events = [event
+                      for trial in range(spec.trials)
+                      for event in traces[(index, trial)]]
+            write_trace(trace_dir / trace_filename(spec.name), events)
 
     suite_result = SuiteResult(suite=suite)
     for index, spec in enumerate(specs):
@@ -237,6 +293,7 @@ def run_suite(
     seed: Optional[int] = None,
     faults: Optional[Mapping[str, object]] = None,
     shards: Optional[int] = None,
+    trace_dir: Optional[Path] = None,
 ) -> SuiteResult:
     """Resolve a named suite and run it, with optional global overrides.
 
@@ -284,6 +341,7 @@ def run_suite(
     if seed is not None:
         specs = [replace(spec, seed=int(seed)) for spec in specs]
     result = run_scenarios(specs, workers=workers, suite=name,
-                           progress=progress, profile_dir=profile_dir)
+                           progress=progress, profile_dir=profile_dir,
+                           trace_dir=trace_dir)
     result.seed_override = None if seed is None else int(seed)
     return result

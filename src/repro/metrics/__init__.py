@@ -5,10 +5,13 @@ from repro.metrics.ledger import (
     CounterLedger,
     ExperimentRecord,
     Ledger,
+    NO_RECORDS,
     RecordingLedger,
     RoundBudgetCheck,
     RoundRecord,
+    bits_by_phase,
     make_ledger,
+    messages_by_phase,
     rounds_by_phase,
     summarize_ledger,
 )
@@ -27,10 +30,13 @@ __all__ = [
     "CounterLedger",
     "ExperimentRecord",
     "Ledger",
+    "NO_RECORDS",
     "RecordingLedger",
     "RoundBudgetCheck",
     "RoundRecord",
+    "bits_by_phase",
     "make_ledger",
+    "messages_by_phase",
     "rounds_by_phase",
     "summarize_ledger",
     "format_table",

@@ -1,0 +1,66 @@
+"""repro.obs — round-level tracing, telemetry, and trace artifacts.
+
+Observation-only by contract: nothing in this package consumes randomness
+or mutates engine state, and a traced run is byte-identical to an untraced
+one (see DESIGN.md, "Observability invariants").
+"""
+
+from repro.obs.artifacts import (
+    TRACE_PREFIX,
+    TRACE_SUFFIX,
+    load_trace,
+    trace_filename,
+    write_trace,
+)
+from repro.obs.heartbeat import Heartbeat
+from repro.obs.sampler import (
+    ResourceSampler,
+    cpu_seconds,
+    current_rss_mb,
+    peak_rss_mb,
+)
+from repro.obs.summary import (
+    PhaseDrift,
+    PhaseTotals,
+    TraceSummary,
+    compare_traces,
+    render_comparison,
+    render_timeline,
+    summarize_trace,
+    timeline_rows,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    TRACE_SCHEMA,
+    NullTracer,
+    RoundTracer,
+    Tracer,
+    make_tracer,
+)
+
+__all__ = [
+    "TRACE_PREFIX",
+    "TRACE_SCHEMA",
+    "TRACE_SUFFIX",
+    "NULL_TRACER",
+    "Heartbeat",
+    "NullTracer",
+    "PhaseDrift",
+    "PhaseTotals",
+    "ResourceSampler",
+    "RoundTracer",
+    "Tracer",
+    "TraceSummary",
+    "compare_traces",
+    "cpu_seconds",
+    "current_rss_mb",
+    "load_trace",
+    "make_tracer",
+    "peak_rss_mb",
+    "render_comparison",
+    "render_timeline",
+    "summarize_trace",
+    "timeline_rows",
+    "trace_filename",
+    "write_trace",
+]

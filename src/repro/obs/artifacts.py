@@ -1,0 +1,60 @@
+"""Trace artifacts: ``TRACE_<scenario>.jsonl`` files next to suite outputs.
+
+One trace file holds every traced trial of one scenario, in trial order:
+each trial contributes its ``header`` event, its ``round``/``sample``
+stream, and its ``end`` event.  Events are plain JSON objects, one per
+line — streamable, greppable, and diffable with standard tools.
+
+Wall-clock and resource fields make traces machine-dependent by nature, so
+they are **diagnostic** artifacts: they live next to the byte-deterministic
+``BENCH_suite.json`` aggregates but are never part of the regression gate's
+byte comparison.  What *is* pinned (by ``tests/test_obs.py`` and the CI
+``trace-smoke`` job) is consistency: the per-round ``bits``/``messages`` in
+a trace sum exactly to the ledger aggregates the suite artifacts report.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping
+
+from repro.obs.tracer import TRACE_SCHEMA
+
+TRACE_PREFIX = "TRACE_"
+TRACE_SUFFIX = ".jsonl"
+
+
+def trace_filename(scenario: str) -> str:
+    """Artifact name for one scenario's trace (filesystem-safe)."""
+    safe = re.sub(r"[^A-Za-z0-9._-]", "_", scenario)
+    return f"{TRACE_PREFIX}{safe}{TRACE_SUFFIX}"
+
+
+def write_trace(path: Path, events: Iterable[Mapping[str, object]]) -> Path:
+    """Write trace events as JSONL (one event per line, key-sorted)."""
+    path = Path(path)
+    lines = [json.dumps(dict(event), sort_keys=True, default=str)
+             for event in events]
+    path.write_text("\n".join(lines) + ("\n" if lines else ""))
+    return path
+
+
+def load_trace(path: Path) -> List[Dict[str, object]]:
+    """Load a trace file back into its event list (schema-checked)."""
+    events: List[Dict[str, object]] = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if line:
+            events.append(json.loads(line))
+    headers = [e for e in events if e.get("type") == "header"]
+    if events and not headers:
+        raise ValueError(f"{path}: no header event — not a trace file?")
+    for header in headers:
+        if header.get("schema") != TRACE_SCHEMA:
+            raise ValueError(
+                f"{path}: unsupported trace schema {header.get('schema')!r} "
+                f"(expected {TRACE_SCHEMA!r})"
+            )
+    return events

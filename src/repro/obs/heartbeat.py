@@ -1,0 +1,51 @@
+"""Heartbeat emitter: periodic progress lines for long runs.
+
+A :class:`Heartbeat` rate-limits progress output to one line per interval.
+It is deliberately dumb — callers decide *what* to say (via a render
+callable, so the line is never built when it is not due) and the heartbeat
+decides *whether* it is time to say it.  Output goes to stderr by default:
+plain lines, no carriage-return tricks, safe to interleave with artifact
+writes on stdout and readable in CI logs.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable, Optional, TextIO
+
+
+class Heartbeat:
+    """Emit at most one progress line per ``interval_s`` seconds.
+
+    ``interval_s=0`` emits on every call (useful in tests).  The first call
+    after construction starts the clock without emitting, so short runs stay
+    silent — the whole point is that only *long* runs get heartbeats.
+    """
+
+    def __init__(self, interval_s: float = 10.0,
+                 stream: Optional[TextIO] = None,
+                 clock: Callable[[], float] = time.monotonic):
+        self.interval_s = float(interval_s)
+        self.stream = stream if stream is not None else sys.stderr
+        self._clock = clock
+        self._last: Optional[float] = None
+        self.beats = 0
+
+    def maybe_beat(self, render: Callable[[], str]) -> bool:
+        """Emit ``render()`` if the interval has elapsed; report whether it did."""
+        now = self._clock()
+        if self._last is None:
+            self._last = now
+            if self.interval_s > 0:
+                return False
+        if now - self._last < self.interval_s:
+            return False
+        self._last = now
+        self.beat(render())
+        return True
+
+    def beat(self, message: str) -> None:
+        """Emit ``message`` unconditionally (used for per-trial milestones)."""
+        print(message, file=self.stream, flush=True)
+        self.beats += 1

@@ -23,14 +23,18 @@ Round protocol (all messages are small tuples):
 1. coordinator → all workers: ``("step", label)``;
 2. each worker either runs ``Simulator.step`` — whose ``exchange`` emits
    ``("round", label, stats, cut_batches)`` and blocks — or, with no active
-   node, reports ``("skipped", active)``;
+   node, reports ``("skipped", active_count)``;
 3. if at least one shard exchanged, the coordinator tells skipped workers to
    ``("absorb", label)`` (an empty exchange: their ledger clock ticks and
    cut-edge mail addressed to them is still counted and delivered), merges
    the per-shard deltas into **one master-ledger record** (``Σcount``,
    ``Σbits``, ``max``), and routes every cut batch to its destination via
    ``("deliver", {source_shard: batch})``;
-4. workers finish their ``step`` and report ``("stepped", active)``.
+4. workers finish their ``step`` and report ``("stepped", active_count)``.
+
+Active reports are per-shard *counts* of non-halted nodes (their truthiness
+gives the old boolean semantics); the coordinator sums them for the
+tracer's active/owned diagnostics.
 
 If *no* shard exchanged, the round never happened — exactly the serial
 semantics, where ``Simulator.step`` returns ``False`` without touching the
@@ -155,7 +159,7 @@ def _worker_loop(endpoint, build) -> None:
     except BaseException as exc:  # noqa: BLE001 - must reach the coordinator
         endpoint.send(("error", _ship_exception(exc)))
         return
-    endpoint.send(("ready", sim.has_active))
+    endpoint.send(("ready", sim.active_count))
     while True:
         msg = endpoint.recv()
         kind = msg[0]
@@ -168,15 +172,15 @@ def _worker_loop(endpoint, build) -> None:
                     # No exchange happened (no active nodes, or this round's
                     # crashes emptied the shard): let the coordinator decide
                     # whether the global round executes at all.
-                    endpoint.send(("skipped", sim.has_active))
+                    endpoint.send(("skipped", sim.active_count))
                 else:
-                    endpoint.send(("stepped", sim.has_active))
+                    endpoint.send(("stepped", sim.active_count))
             elif kind == "absorb":
                 # Another shard exchanged this round: participate with an
                 # empty send so the clock, fault schedule and cut-edge
                 # deliveries addressed here stay in lockstep.
                 network.exchange({}, label=msg[1])
-                endpoint.send(("stepped", sim.has_active))
+                endpoint.send(("stepped", sim.active_count))
             elif kind == "finish":
                 stats = getattr(network.transport, "fault_stats", None)
                 endpoint.send(("result", (
@@ -349,9 +353,10 @@ class ShardedSimulator:
     def run(self, max_rounds: int = 10_000, label: Optional[str] = None) -> SimulationResult:
         """Run until every node halts or ``max_rounds`` rounds have elapsed."""
         resolved = label or type(self.program).__name__
+        tracer = self.network.tracer
         handles = self._spawn()
         try:
-            active: List[bool] = []
+            active: List[int] = []
             for handle in handles:
                 msg = handle.recv()
                 if msg[0] == "error":
@@ -399,6 +404,14 @@ class ShardedSimulator:
                     if msg[0] == "error":
                         self._abort(handles, msg[1])
                     active[i] = msg[1]
+                if tracer.enabled:
+                    # Observation only: per-shard deltas of the round just
+                    # merged, and the summed post-round active count.  Set
+                    # before record_round so the observer sees them on this
+                    # round's event.
+                    tracer.note_shards([msg[2] for msg in first])
+                    tracer.note_nodes(sum(active),
+                                      self.network.number_of_nodes)
                 self.network.ledger.record_round(
                     round_label, total_count, total_bits, max_bits
                 )

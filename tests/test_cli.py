@@ -224,3 +224,80 @@ class TestFaultsCli:
         assert main(["suite", "compare", "--baseline", str(summary_path),
                      "--fresh", str(tmp_path / "clean" / "BENCH_suite.json")]) == 1
         assert "seed override mismatch" in capsys.readouterr().out
+
+
+class TestTraceCommands:
+    def _run_traced(self, tmp_path, only=("gnp-d1c",), out="run"):
+        argv = ["suite", "run", "smoke", "--trials", "1",
+                "--out", str(tmp_path / out), "--trace", str(tmp_path / out)]
+        for name in only:
+            argv.extend(["--only", name])
+        assert main(argv) == 0
+        return tmp_path / out
+
+    def test_suite_run_trace_writes_artifacts(self, capsys, tmp_path):
+        out_dir = self._run_traced(tmp_path)
+        out = capsys.readouterr().out
+        assert "traces:" in out
+        trace_path = out_dir / "TRACE_gnp-d1c.jsonl"
+        assert trace_path.exists()
+        import json
+
+        events = [json.loads(line)
+                  for line in trace_path.read_text().splitlines()]
+        assert events[0]["type"] == "header"
+        assert any(e["type"] == "round" for e in events)
+
+    def test_suite_run_trace_keeps_aggregate_bytes(self, capsys, tmp_path):
+        assert main(["suite", "run", "smoke", "--trials", "1",
+                     "--only", "gnp-d1c", "--out", str(tmp_path / "plain")]) == 0
+        self._run_traced(tmp_path, out="traced")
+        plain = (tmp_path / "plain" / "BENCH_suite.json").read_bytes()
+        traced = (tmp_path / "traced" / "BENCH_suite.json").read_bytes()
+        assert plain == traced  # tracing never reaches the aggregate
+
+    def test_suite_run_progress_heartbeats_on_stderr(self, capsys, tmp_path):
+        assert main(["suite", "run", "smoke", "--trials", "1",
+                     "--only", "gnp-d1c", "--progress",
+                     "--out", str(tmp_path)]) == 0
+        captured = capsys.readouterr()
+        assert "[suite] gnp-d1c trial 0:" in captured.err
+        assert "rss=" in captured.err
+        assert "[suite]" not in captured.out  # heartbeats never touch stdout
+
+    def test_trace_summarize_renders_phase_timeline(self, capsys, tmp_path):
+        out_dir = self._run_traced(tmp_path, only=("powerlaw-d1lc",))
+        capsys.readouterr()
+        assert main(["trace", "summarize",
+                     str(out_dir / "TRACE_powerlaw-d1lc.jsonl")]) == 0
+        out = capsys.readouterr().out
+        assert "phase timeline" in out
+        assert "acd" in out
+        assert "TOTAL" in out
+
+    def test_trace_compare_clean_and_drifted(self, capsys, tmp_path):
+        a = self._run_traced(tmp_path, out="a")
+        b = self._run_traced(tmp_path, out="b")
+        trace_a = a / "TRACE_gnp-d1c.jsonl"
+        trace_b = b / "TRACE_gnp-d1c.jsonl"
+        assert main(["trace", "compare", str(trace_a), str(trace_b)]) == 0
+        assert "no drift" in capsys.readouterr().out
+        # Perturb one round's bits: the deterministic gate must trip.
+        import json
+
+        lines = trace_b.read_text().splitlines()
+        for i, line in enumerate(lines):
+            event = json.loads(line)
+            if event["type"] == "round":
+                event["bits"] += 1
+                lines[i] = json.dumps(event, sort_keys=True)
+                break
+        trace_b.write_text("\n".join(lines) + "\n")
+        assert main(["trace", "compare", str(trace_a), str(trace_b)]) == 1
+        assert "deterministic drift" in capsys.readouterr().out
+
+    def test_trace_parser_requires_subcommand(self):
+        import pytest as _pytest
+
+        with _pytest.raises(SystemExit):
+            build_parser().parse_args(["trace"])

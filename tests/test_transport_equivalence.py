@@ -254,8 +254,20 @@ class TestLedgerBackends:
         net = Network(nx.path_graph(4), ledger="counters")
         net.exchange({(0, 1): 1}, label="a")
         assert isinstance(net.ledger, CounterLedger)
-        assert net.ledger.records == []
+        assert list(net.ledger.records) == []
         assert net.ledger.rounds == 1
+
+    def test_counter_ledger_records_cannot_leak_shared_state(self):
+        # `records` returns the module-level immutable empty tuple: a caller
+        # that tries to mutate it fails loudly instead of corrupting a list
+        # shared by every CounterLedger access.
+        net = Network(nx.path_graph(4), ledger="counters")
+        records = net.ledger.records
+        assert records is net.ledger.records  # no fresh allocation per access
+        with pytest.raises((AttributeError, TypeError)):
+            records.append("bogus")
+        other = Network(nx.path_graph(3), ledger="counters")
+        assert other.ledger.records == ()
 
     def test_shared_ledger_instance(self):
         shared = RecordingLedger()
