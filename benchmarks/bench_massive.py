@@ -1,19 +1,23 @@
 """Sharded-vs-serial head-to-head on the ``massive`` suite.
 
-For each selected scenario this driver runs the workload twice — serial slot
-execution and ``--shards N`` partition-parallel execution — verifies the two
+For each selected scenario this driver runs the workload twice — serial
+execution on ``--backend`` (slot by default, columnar for the flat-array
+core) and ``--shards N`` partition-parallel execution — verifies the two
 aggregates are **byte-identical** (the sharded layer's core contract), and
 records both wall-clocks plus peak RSS::
 
     PYTHONPATH=src python benchmarks/bench_massive.py --smoke          # n=50k tier
     PYTHONPATH=src python benchmarks/bench_massive.py --tier n200k    # n=200k tier
+    PYTHONPATH=src python benchmarks/bench_massive.py --smoke --backend columnar
     PYTHONPATH=src python benchmarks/bench_massive.py --only massive-ring-n200000-d1c
 
 The snapshot lands in ``BENCH_massive_smoke.json`` (or ``--out DIR``): one
 entry per scenario with ``serial_wall_s``, ``sharded_wall_s``, ``speedup``,
-``aggregates_identical`` and the machine's CPU budget — sharded wall-clock
-only beats serial when the machine actually has cores to fan out over, so
-the snapshot records ``cpus`` to keep single-core numbers honest.
+``aggregates_identical``, per-leg ``*_peak_rss_mb``, and — in every row —
+the ``backend`` it ran on and the ``cpus`` the machine offered at the time:
+sharded wall-clock only beats serial when the machine actually has cores to
+fan out over, and rows from different machines/backends can end up merged
+into one snapshot, so each row carries its own provenance.
 """
 
 from __future__ import annotations
@@ -48,12 +52,12 @@ def _children_peak_rss_mb() -> float:
     return round(peak / (1024.0 * 1024.0), 1)
 
 
-def _leg_main(conn, name: str, shards, workers: int) -> None:
+def _leg_main(conn, name: str, shards, workers: int, backend: str = "slot") -> None:
     """Run one (scenario, shard-setting) leg and report back over a pipe."""
     from repro.experiments import aggregate_suite, canonical_dumps, run_suite
     from repro.shard import shutdown_pool
 
-    result = run_suite("massive", workers=workers, backend="slot",
+    result = run_suite("massive", workers=workers, backend=backend,
                        only=[name], shards=shards)
     shutdown_pool()  # reap the sweep workers so RUSAGE_CHILDREN sees them
     conn.send({
@@ -65,7 +69,7 @@ def _leg_main(conn, name: str, shards, workers: int) -> None:
     conn.close()
 
 
-def _measure_leg(name: str, shards, workers: int):
+def _measure_leg(name: str, shards, workers: int, backend: str = "slot"):
     """One leg in a forked subprocess, so per-leg RSS is honest.
 
     ``ru_maxrss`` is a process-lifetime high-water mark; measured in-process
@@ -82,7 +86,8 @@ def _measure_leg(name: str, shards, workers: int):
     if "fork" in multiprocessing.get_all_start_methods():
         ctx = multiprocessing.get_context("fork")
         parent, child = ctx.Pipe()
-        proc = ctx.Process(target=_leg_main, args=(child, name, shards, workers))
+        proc = ctx.Process(target=_leg_main,
+                           args=(child, name, shards, workers, backend))
         proc.start()
         child.close()
         try:
@@ -102,18 +107,20 @@ def _measure_leg(name: str, shards, workers: int):
             def close(self):
                 pass
 
-        _leg_main(_Inline(), name, shards, workers)
+        _leg_main(_Inline(), name, shards, workers, backend)
         payload = conn_payload
     return round(time.perf_counter() - start, 2), payload
 
 
-def run_head_to_head(names, shards: int, workers: int = 1):
+def run_head_to_head(names, shards: int, workers: int = 1,
+                     backend: str = "slot"):
     entries = {}
+    cpus = _cpus()
     for name in names:
-        print(f"[{name}] serial slot ...", flush=True)
-        serial_s, serial = _measure_leg(name, None, workers)
+        print(f"[{name}] serial {backend} ...", flush=True)
+        serial_s, serial = _measure_leg(name, None, workers, backend)
         print(f"[{name}] serial {serial_s}s; sharded x{shards} ...", flush=True)
-        sharded_s, sharded = _measure_leg(name, shards, workers)
+        sharded_s, sharded = _measure_leg(name, shards, workers, backend)
         identical = serial["aggregate"] == sharded["aggregate"]
         row = serial["row"]
         entries[name] = {
@@ -121,12 +128,15 @@ def run_head_to_head(names, shards: int, workers: int = 1):
             "m": row["m"],
             "valid": bool(row.get("valid")),
             "rounds": row.get("rounds"),
+            "backend": backend,
+            "cpus": cpus,
             "serial_wall_s": serial_s,
             "sharded_wall_s": sharded_s,
             "speedup": round(serial_s / max(sharded_s, 1e-9), 3),
             "shards": shards,
             "aggregates_identical": identical,
             "serial_peak_rss_mb": serial["peak_rss_mb"],
+            "sharded_peak_rss_mb": sharded["peak_rss_mb"],
             "sharded_worker_peak_rss_mb": sharded["worker_peak_rss_mb"],
         }
         status = "IDENTICAL" if identical else "DRIFT (BUG)"
@@ -155,6 +165,10 @@ def main(argv=None) -> int:
     parser.add_argument("--workers", type=int, default=1,
                         help="trial worker processes (scenarios are single-"
                              "trial, so 1 is the honest timing setting)")
+    parser.add_argument("--backend", choices=["dict", "batch", "slot", "columnar"],
+                        default="slot",
+                        help="transport backend for both legs (default: slot; "
+                             "columnar needs numpy)")
     parser.add_argument("--out", type=Path, default=REPO_ROOT,
                         help="directory for the snapshot")
     args = parser.parse_args(argv)
@@ -180,7 +194,8 @@ def main(argv=None) -> int:
     if not names:
         parser.error("no scenarios selected")
 
-    entries = run_head_to_head(names, shards=args.shards, workers=args.workers)
+    entries = run_head_to_head(names, shards=args.shards, workers=args.workers,
+                               backend=args.backend)
     out_path = args.out / SNAPSHOT_FILENAME
     snapshot = {"schema": SCHEMA, "cpus": _cpus(), "scenarios": entries}
     if out_path.exists():

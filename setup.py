@@ -1,11 +1,33 @@
-"""Legacy setup shim.
+"""Packaging metadata for the PODC'22 distributed-coloring reproduction.
 
 The offline environment used for this reproduction has setuptools but not the
-``wheel`` package, so PEP 517 editable installs (which build a wheel) fail.
-Keeping a ``setup.py`` alongside ``pyproject.toml`` lets ``pip install -e .``
-fall back to the legacy editable path.  All metadata lives in pyproject.toml.
+``wheel`` package, so PEP 517 editable installs (which build a wheel) can
+fail; a plain ``setup.py`` keeps ``pip install -e .`` working through the
+legacy editable path.  ``numpy`` is a hard requirement: the ``columnar``
+transport backend (``repro.congest.columnar``) needs it, and environments
+without it fall back to the pure-Python backends with a clean ImportError
+only if numpy is genuinely absent — but supported installs ship it.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-congestion-coloring",
+    version="0.8.0",
+    description=(
+        "Reproduction of 'Overcoming Congestion in Distributed Coloring' "
+        "(Halldorsson, Nolin, Tonoyan; PODC 2022): CONGEST simulator, "
+        "representative hashing, and the (degree+1)-list-coloring pipeline"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=[
+        "networkx",
+        "numpy",
+    ],
+    extras_require={
+        "test": ["pytest", "hypothesis", "pytest-benchmark"],
+        "scale": ["scipy"],
+    },
+)

@@ -314,22 +314,27 @@ def cmd_suite_run(args: argparse.Namespace) -> int:
 
 def cmd_suite_compare(args: argparse.Namespace) -> int:
     from repro.experiments import (
-        TIMING_FILENAME, aggregate_suite, compare_summaries, compare_timing,
-        gate_passes, load_suite_summary, load_suite_timing, run_suite,
-        timing_summary,
+        TIMING_FILENAME, aggregate_suite, compare_rss, compare_summaries,
+        compare_timing, gate_passes, load_suite_summary, load_suite_timing,
+        run_suite, timing_summary,
     )
 
     baseline = load_suite_summary(Path(args.baseline))
     fresh_timing = None
+    wants_timing_artifact = (
+        args.timing_budget is not None or args.rss_budget is not None
+    )
     if args.fresh:
         fresh = load_suite_summary(Path(args.fresh))
-        if args.timing_budget is not None:
-            # A pre-produced aggregate keeps its timing in the sibling file.
+        if wants_timing_artifact:
+            # A pre-produced aggregate keeps its timing (and peak RSS) in the
+            # sibling file.
             sibling = Path(args.fresh).parent / TIMING_FILENAME
             if sibling.exists():
                 fresh_timing = load_suite_timing(sibling, suite=fresh.get("suite"))
             else:
-                print(f"no fresh timing found at {sibling}; skipping timing check")
+                print(f"no fresh timing found at {sibling}; "
+                      "skipping timing/RSS checks")
     else:
         suite = args.suite or baseline.get("suite")
         print(f"running suite '{suite}' fresh (workers={args.workers}) ...")
@@ -343,20 +348,28 @@ def cmd_suite_compare(args: argparse.Namespace) -> int:
         fresh_timing = timing_summary(result)
     findings = compare_summaries(baseline, fresh,
                                  max_regression=args.max_regression / 100.0)
-    if args.timing_budget is not None and fresh_timing is not None:
-        # The timing check is soft by design: a missing/stale baseline file
-        # (or one without this suite's entry) skips it with a note instead
-        # of discarding the correctness result that was just computed.
+    if wants_timing_artifact and fresh_timing is not None:
+        # The timing/RSS checks are soft by design: a missing/stale baseline
+        # file (or one without this suite's entry) skips them with a note
+        # instead of discarding the correctness result that was just
+        # computed.
         try:
             timing_baseline = load_suite_timing(Path(args.timing_baseline),
                                                 suite=fresh.get("suite"))
         except (OSError, ValueError) as exc:
-            print(f"timing check skipped: {exc}")
+            print(f"timing/RSS checks skipped: {exc}")
         else:
-            findings.extend(compare_timing(
-                timing_baseline, fresh_timing,
-                budget=args.timing_budget / 100.0, strict=args.strict_timing,
-            ))
+            if args.timing_budget is not None:
+                findings.extend(compare_timing(
+                    timing_baseline, fresh_timing,
+                    budget=args.timing_budget / 100.0,
+                    strict=args.strict_timing,
+                ))
+            if args.rss_budget is not None:
+                findings.extend(compare_rss(
+                    timing_baseline, fresh_timing,
+                    budget=args.rss_budget / 100.0, strict=args.strict_rss,
+                ))
     if findings:
         print(format_table(
             [f.as_row() for f in findings],
@@ -413,10 +426,12 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_backend_option(p: argparse.ArgumentParser) -> None:
-        p.add_argument("--backend", choices=["batch", "dict", "slot"], default="batch",
+        p.add_argument("--backend", choices=["batch", "dict", "slot", "columnar"],
+                       default="batch",
                        help="transport backend (identical accounting; 'dict' is "
                             "the per-message reference implementation, 'slot' the "
-                            "CSR-routed large-n fast path)")
+                            "CSR-routed large-n fast path, 'columnar' the "
+                            "numpy flat-array core)")
 
     def add_shards_option(p: argparse.ArgumentParser, default: int = 1) -> None:
         p.add_argument("--shards", type=int, default=default,
@@ -479,8 +494,10 @@ def build_parser() -> argparse.ArgumentParser:
     def add_suite_run_options(p: argparse.ArgumentParser) -> None:
         p.add_argument("--workers", type=int, default=1,
                        help="worker processes (results are identical for any count)")
-        p.add_argument("--backend", choices=["batch", "dict", "slot"], default=None,
-                       help="override every scenario's transport backend")
+        p.add_argument("--backend", choices=["batch", "dict", "slot", "columnar"],
+                       default=None,
+                       help="override every scenario's transport backend "
+                            "('columnar' needs numpy)")
         p.add_argument("--shards", type=int, default=None,
                        help="override every scenario's shard count "
                             "(bit-identical aggregates for any value)")
@@ -546,6 +563,15 @@ def build_parser() -> argparse.ArgumentParser:
                                 "to gate failures")
     s_compare.add_argument("--timing-baseline", default="BENCH_suite_timing.json",
                            help="committed timing snapshot for --timing-budget")
+    s_compare.add_argument("--rss-budget", type=float, default=None, metavar="PCT",
+                           help="opt-in soft peak-memory check: warn when a "
+                                "scenario's peak RSS is more than PCT%% above "
+                                "the committed timing baseline's peak_rss_mb "
+                                "(never fails the gate unless --strict-rss is "
+                                "given)")
+    s_compare.add_argument("--strict-rss", action="store_true",
+                           help="escalate rss-budget violations from warnings "
+                                "to gate failures")
     add_suite_run_options(s_compare)
     s_compare.set_defaults(func=cmd_suite_compare)
 

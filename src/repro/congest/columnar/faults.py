@@ -1,0 +1,89 @@
+"""Vectorized twins of the fault layer's per-edge decisions.
+
+:class:`~repro.faults.transport.FaultyTransport` makes every drop/corrupt
+decision as a pure function of ``(master_seed, round_id, sender_key,
+receiver_key, salt)`` through ``mix64`` — deliberately so (its module
+docstring calls the decisions replayable).  These kernels evaluate the same
+functions over flat edge arrays, bit for bit:
+
+* :func:`drop_mask` — which directed edges the drop fault eats this round;
+* :func:`corruption_seeds` — the per-edge seeds the corrupt fault hands to
+  ``corrupt_payload``;
+* :func:`crash_mask` — which directed edges touch a crashed endpoint.
+
+``tests/test_columnar.py`` pins each against the scalar formulas and against
+a live ``FaultyTransport`` round.  They are not yet wired into delivery —
+fault runs keep the reference transport path (the fault wrapper renames the
+backend to ``columnar+faults``, which the ACD's columnar gate rejects), so
+fault-free and faulted runs alike stay byte-identical today; these kernels
+are the pinned foundation for a future vectorized fault delivery path.
+"""
+
+from __future__ import annotations
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - package is importable without numpy
+    np = None  # type: ignore[assignment]
+
+from repro.congest.columnar.kernels import mix64_vec
+from repro.faults.transport import _CORRUPT_SALT, _DROP_SALT
+
+#: float(1 << 53), the denominator of repro.faults.corruption.to_unit.
+_F53 = float(1 << 53)
+
+
+def to_unit_vec(mixed) -> "np.ndarray":
+    """Array twin of ``repro.faults.corruption.to_unit``: top 53 bits / 2^53.
+
+    uint64 -> float64 conversion after the shift is exact (the operand fits
+    in 53 bits), so each element equals the scalar ``(mixed >> 11) / _F53``.
+    """
+    return (np.asarray(mixed, dtype=np.uint64) >> np.uint64(11)).astype(np.float64) / _F53
+
+
+def _edge_draws(master_seed: int, round_id: int, sender_keys, receiver_keys, salt: int):
+    return mix64_vec(
+        np.uint64(master_seed),
+        np.uint64(round_id),
+        np.asarray(sender_keys, dtype=np.uint64),
+        np.asarray(receiver_keys, dtype=np.uint64),
+        np.uint64(salt),
+    )
+
+
+def drop_mask(
+    master_seed: int,
+    round_id: int,
+    sender_keys,
+    receiver_keys,
+    drop_probability: float,
+) -> "np.ndarray":
+    """True where the drop fault would eat the directed edge this round.
+
+    Matches ``FaultyTransport._filter``'s ``to_unit(mix64(master, round,
+    sender_key, receiver_key, _DROP_SALT)) < drop`` element for element.
+    """
+    draws = _edge_draws(master_seed, round_id, sender_keys, receiver_keys, _DROP_SALT)
+    return to_unit_vec(draws) < drop_probability
+
+
+def corruption_seeds(
+    master_seed: int,
+    round_id: int,
+    sender_keys,
+    receiver_keys,
+) -> "np.ndarray":
+    """The per-edge corruption seeds ``FaultyTransport`` hands to ``corrupt_payload``."""
+    return _edge_draws(master_seed, round_id, sender_keys, receiver_keys, _CORRUPT_SALT)
+
+
+def crash_mask(crashed_slots, sender_slots, receiver_slots) -> "np.ndarray":
+    """True where either endpoint of the directed edge has crashed.
+
+    ``crashed_slots`` is a boolean column over topology slots (e.g.
+    :class:`~repro.congest.columnar.state.SlotMasks.crashed`);
+    ``sender_slots``/``receiver_slots`` are aligned int arrays.
+    """
+    crashed = np.asarray(crashed_slots, dtype=bool)
+    return crashed[sender_slots] | crashed[receiver_slots]

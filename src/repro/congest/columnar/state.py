@@ -1,0 +1,50 @@
+"""Flat boolean slot columns mirroring per-node liveness.
+
+The simulator's per-node truth lives in :class:`~repro.congest.node.
+NodeState` objects (``halted``) and the fault plan's crash schedule.  For
+array-level consumers — vectorized fault kernels
+(:func:`~repro.congest.columnar.faults.crash_mask`), observability, tests —
+:class:`SlotMasks` keeps the same facts as two numpy bool columns indexed by
+topology slot, updated at the exact points the simulator already touches
+per-node state (halt refilter, crash application).  It observes; it never
+decides — the active list and ``NodeState.halted`` remain authoritative, so
+simulation behavior is identical with or without numpy installed.
+"""
+
+from __future__ import annotations
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - package is importable without numpy
+    np = None  # type: ignore[assignment]
+
+
+class SlotMasks:
+    """``halted``/``crashed`` bool columns over the topology's slots.
+
+    Slots outside the owned range are born halted (they are some other
+    shard's to run), matching the simulator's owned-only active set, so
+    ``active_count`` needs no ownership bookkeeping of its own.
+    """
+
+    __slots__ = ("halted", "crashed")
+
+    def __init__(self, slot_count: int, owned: range):
+        self.halted = np.ones(slot_count, dtype=bool)
+        self.halted[owned.start:owned.stop] = False
+        self.crashed = np.zeros(slot_count, dtype=bool)
+
+    @staticmethod
+    def available() -> bool:
+        return np is not None
+
+    def halt(self, slot: int) -> None:
+        self.halted[slot] = True
+
+    def crash(self, slot: int) -> None:
+        self.crashed[slot] = True
+        self.halted[slot] = True
+
+    def active_count(self) -> int:
+        """Owned, not-yet-halted slots (non-owned slots count as halted)."""
+        return int(self.halted.size - int(self.halted.sum()))

@@ -1,0 +1,264 @@
+"""The ``columnar`` transport backend: vectorized CSR routing + accounting.
+
+:class:`ColumnarTransport` subclasses the slot backend and keeps its
+observable contract — same delivered payloads, same sender-major inbox
+insertion order, same ledger rounds/labels/counts/bits/maxima — while moving
+the per-round arithmetic off the Python interpreter:
+
+* ``broadcast`` sizes and accounts all senders in one vectorized pass over
+  the topology CSR (degree gather, ``bits * degree`` sums, worst-edge argmax)
+  and expands the round into one :class:`~repro.congest.columnar.buffers.
+  CsrRoundBuffer` ``offsets``/``storage`` pair instead of per-sender Python
+  slices;
+* ``broadcast_discard`` charges a broadcast whose inboxes the caller throws
+  away (the ACD's participation/degree announcements) without materialising
+  a single inbox dict;
+* chunked-stream accounting (``exchange_chunked``) replaces the per-chunk
+  histogram dicts with ``np.bincount`` / ``np.maximum.at`` over the size
+  array — identical records, O(edges) numpy instead of O(edges) Python.
+
+Per-edge ``exchange`` rounds are inherited from the batch path unchanged:
+their payloads are per-edge Python objects either way, and the equivalence
+suite pins that path already.  The byte-identity of every override is pinned
+by ``tests/test_columnar.py`` and the four-backend equivalence matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - package is importable without numpy
+    np = None  # type: ignore[assignment]
+
+from repro.congest.columnar import require_numpy
+from repro.congest.columnar.buffers import CsrRoundBuffer
+from repro.congest.errors import BandwidthExceeded
+from repro.congest.message import Message
+from repro.congest.topology import Topology
+from repro.congest.transport import EMPTY_INBOX, SlotTransport, _memoized_bits
+from repro.metrics.ledger import Ledger
+
+Node = Any
+DirectedEdge = Tuple[Node, Node]
+
+#: Below this many edges the scalar chunk-accounting loop wins (array setup
+#: costs more than it saves); the records are identical either way.
+_VECTOR_MIN_SIZES = 1024
+#: Degenerate budget/size combinations (absurdly many chunk rounds would
+#: allocate absurd histograms) fall back to the scalar path, which streams.
+_VECTOR_MAX_ROUNDS = 4_000_000
+
+
+class ColumnarTransport(SlotTransport):
+    """Flat-array sibling of :class:`~repro.congest.transport.SlotTransport`."""
+
+    name = "columnar"
+    #: The ACD's buddy sweep asks for this before taking its vectorized path,
+    #: so wrapped transports (faults rename to ``columnar+faults``) and other
+    #: backends fall through to the scalar reference sweep automatically.
+    supports_columnar_sweep = True
+
+    def __init__(self, topology: Topology, mode: str, bandwidth_bits: int,
+                 ledger: Ledger):
+        require_numpy()
+        super().__init__(topology, mode, bandwidth_bits, ledger)
+        # array("l") exposes the buffer protocol, so these are zero-copy
+        # int64 views of the topology CSR.
+        self._np_indptr = np.asarray(topology.indptr, dtype=np.int64)
+        self._np_indices = np.asarray(topology.indices, dtype=np.int64)
+        self._np_degrees = np.diff(self._np_indptr)
+
+    # ------------------------------------------------------------- broadcast
+    def _account_broadcast(
+        self, senders: List[Node], slots: "np.ndarray", bits: "np.ndarray",
+        label: str,
+    ) -> Tuple[int, int, int]:
+        """Vectorized ledger arithmetic for one broadcast round.
+
+        Returns ``(message_count, total_bits, max_edge_bits)`` after the
+        budget audit, matching the slot backend's running-loop accounting:
+        isolated senders contribute nothing, and the audited worst edge is
+        the first sender (in send order) attaining the maximal per-edge bits,
+        paired with the head of its CSR row.
+        """
+        degrees = self._np_degrees[slots]
+        message_count = int(degrees.sum())
+        if message_count == 0:
+            return 0, 0, 0
+        total_bits = int((bits * degrees).sum())
+        nonzero = degrees > 0
+        max_edge_bits = int(bits[nonzero].max())
+        if self.mode == "congest" and max_edge_bits > self.bandwidth_bits:
+            first = int(np.flatnonzero(nonzero & (bits == max_edge_bits))[0])
+            worst_slot = int(slots[first])
+            worst_edge = (
+                senders[first],
+                self.topology.nodes[int(self._np_indices[int(self._np_indptr[worst_slot])])],
+            )
+            raise BandwidthExceeded(
+                worst_edge, max_edge_bits, self.bandwidth_bits, label
+            )
+        return message_count, total_bits, max_edge_bits
+
+    def _collect_senders(
+        self, values: Mapping[Node, Any]
+    ) -> Tuple[List[Node], List[Any], "np.ndarray", "np.ndarray"]:
+        """Scalar prologue: slot + sized bits + unwrapped content per sender.
+
+        Sizing goes through the same pooled identity memo as the slot
+        backend (``_round_memo``), and an unknown sender raises the canonical
+        ProtocolError at the same position in send order.
+        """
+        topology = self.topology
+        index_of = topology.node_index
+        count = len(values)
+        slots = np.empty(count, dtype=np.int64)
+        bits = np.empty(count, dtype=np.int64)
+        senders: List[Node] = []
+        contents: List[Any] = []
+        size_memo = self._round_memo()
+        pos = 0
+        for sender, payload in values.items():
+            i = index_of.get(sender)
+            if i is None:
+                topology.neighbors(sender)  # raises the canonical ProtocolError
+            slots[pos] = i
+            bits[pos] = _memoized_bits(payload, size_memo)
+            senders.append(sender)
+            contents.append(payload.content if isinstance(payload, Message) else payload)
+            pos += 1
+        return senders, contents, slots, bits
+
+    def broadcast(
+        self,
+        values: Mapping[Node, Any],
+        label: str = "broadcast",
+        senders_only_to: Optional[Mapping[Node, Iterable[Node]]] = None,
+    ) -> Dict[Node, Mapping[Node, Any]]:
+        if senders_only_to is not None:
+            # Restricted recipients are rare and per-sender small; the batch
+            # path (validated per recipient) already handles them well.
+            return super().broadcast(
+                values, label=label, senders_only_to=senders_only_to
+            )
+        nodes = self.topology.nodes
+        senders, contents, slots, bits = self._collect_senders(values)
+        message_count, total_bits, max_edge_bits = self._account_broadcast(
+            senders, slots, bits, label
+        )
+        buffer = CsrRoundBuffer.from_broadcast(
+            self._np_indptr, self._np_indices, slots, contents
+        )
+        # Replay the buffer receiver-side.  Storage order is sender-major
+        # with receivers in CSR row order — the slot backend's exact inbox
+        # insertion sequence — and slot-indexed boxes replace per-node dict
+        # lookups in the one loop that must stay Python (payloads are boxed).
+        boxes: List[Any] = [EMPTY_INBOX] * len(nodes)
+        offsets = buffer.offsets.tolist()
+        receivers = buffer.receiver_slots.tolist()
+        payloads = buffer.storage.tolist()
+        for i, sender in enumerate(senders):
+            for p in range(offsets[i], offsets[i + 1]):
+                j = receivers[p]
+                box = boxes[j]
+                if box is EMPTY_INBOX:
+                    box = {}
+                    boxes[j] = box
+                box[sender] = payloads[p]
+        self.ledger.record_round(label, message_count, total_bits, max_edge_bits)
+        return dict(zip(nodes, boxes))
+
+    def broadcast_discard(
+        self, values: Mapping[Node, Any], label: str = "broadcast"
+    ) -> None:
+        """Charge a broadcast whose inboxes the caller discards.
+
+        Identical ledger record (and identical BandwidthExceeded on
+        violating rounds) to a full ``broadcast`` of ``values`` — the inbox
+        fill is the only thing skipped, which is exactly what the discarding
+        call sites (ACD participation/degree announcements) never observe.
+        """
+        senders, _contents, slots, bits = self._collect_senders(values)
+        message_count, total_bits, max_edge_bits = self._account_broadcast(
+            senders, slots, bits, label
+        )
+        self.ledger.record_round(label, message_count, total_bits, max_edge_bits)
+        return None
+
+    # --------------------------------------------------------------- chunked
+    def charge_chunked_sizes(self, label: str, sizes: "np.ndarray") -> None:
+        """The ledger records of :meth:`exchange_chunked` for pre-sized edges.
+
+        ``sizes`` holds per-edge payload bits (int64).  Used by the columnar
+        buddy sweep, whose exchanged payloads are statically sized and whose
+        inboxes the reference implementation ignores; the records — empty
+        round, LOCAL single round, or the CONGEST chunk-round sequence —
+        match the reference ``exchange_chunked`` byte for byte.
+        """
+        if sizes.size == 0:
+            self.ledger.record_round(label, 0, 0, 0)
+            return
+        if self.mode == "local":
+            self.ledger.record_round(
+                label, int(sizes.size), int(sizes.sum()), int(sizes.max())
+            )
+            return
+        self._charge_chunked_array(label, sizes)
+
+    def _charge_chunked_rounds(
+        self, label: str, sizes: Mapping[DirectedEdge, int]
+    ) -> None:
+        if len(sizes) < _VECTOR_MIN_SIZES:
+            super()._charge_chunked_rounds(label, sizes)
+            return
+        try:
+            array = np.fromiter(sizes.values(), dtype=np.int64, count=len(sizes))
+        except OverflowError:
+            # Payloads beyond int64 bits only arise in adversarial unit
+            # tests; the scalar path handles arbitrary Python ints.
+            super()._charge_chunked_rounds(label, sizes)
+            return
+        self._charge_chunked_array(label, array)
+
+    def _charge_chunked_array(self, label: str, sizes: "np.ndarray") -> None:
+        """Vectorized twin of ``Transport._charge_chunked_rounds``.
+
+        The reference groups edges by chunk count into three dict histograms
+        and then replays the rounds; ``np.bincount``/``np.add.at``/
+        ``np.maximum.at`` build the same histograms as arrays.  All values
+        re-enter Python as native ints before ``record_round`` so ledgers
+        (and their JSON artifacts) are byte-identical.
+        """
+        budget = self.bandwidth_bits
+        positive = sizes[sizes > 0]
+        zero_count = int(sizes.size - positive.size)
+        record = self.ledger.record_round
+        if positive.size == 0:
+            record(label, zero_count, 0, 0)
+            return
+        chunks = -(-positive // budget)  # ceil-divide, like the scalar path
+        total_rounds = int(chunks.max())
+        if total_rounds > _VECTOR_MAX_ROUNDS:
+            SlotTransport._charge_chunked_rounds(
+                self, label, dict(enumerate(sizes.tolist()))
+            )
+            return
+        remainder = positive - (chunks - 1) * budget
+        finish_count = np.bincount(chunks, minlength=total_rounds + 1).tolist()
+        finish_bits = np.zeros(total_rounds + 1, dtype=np.int64)
+        np.add.at(finish_bits, chunks, remainder)
+        finish_bits = finish_bits.tolist()
+        finish_max = np.zeros(total_rounds + 1, dtype=np.int64)
+        np.maximum.at(finish_max, chunks, remainder)
+        finish_max = finish_max.tolist()
+        streaming = int(positive.size)
+        for r in range(1, total_rounds + 1):
+            finishing = finish_count[r]
+            full = streaming - finishing
+            count = streaming + (zero_count if r == 1 else 0)
+            bits = budget * full + finish_bits[r]
+            max_bits = budget if full > 0 else finish_max[r]
+            record(label, count, bits, max_bits)
+            streaming -= finishing

@@ -268,6 +268,18 @@ class Network:
             values, label=label, senders_only_to=senders_only_to
         )
 
+    def broadcast_discard(
+        self,
+        values: Mapping[Node, Any],
+        label: str = "broadcast",
+    ) -> None:
+        """:meth:`broadcast` for callers that discard the inboxes.
+
+        Ledger accounting is identical to a full broadcast; backends that
+        can skip inbox materialisation (columnar) do so here.
+        """
+        self.transport.broadcast_discard(values, label=label)
+
     def exchange_chunked(
         self,
         messages: Mapping[DirectedEdge, Any],

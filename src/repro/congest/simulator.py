@@ -8,6 +8,7 @@ from typing import Any, Dict, Hashable, List, Optional
 from repro.congest.network import Network
 from repro.congest.node import NodeState
 from repro.congest.program import NodeProgram, ProgramContext
+from repro.congest.columnar.state import SlotMasks
 from repro.utils.rng import RngStream
 
 Node = Hashable
@@ -130,6 +131,15 @@ class Simulator:
         self._active: List[int] = [
             i for i in owned if not self._state_list[i].halted
         ]
+        # Flat boolean liveness columns for array-level consumers (vectorized
+        # fault kernels, observability).  Observation only: NodeState.halted
+        # and the active list stay authoritative, and without numpy the
+        # masks are simply absent.
+        self.slot_masks = SlotMasks(len(nodes), owned) if SlotMasks.available() else None
+        if self.slot_masks is not None:
+            for i in owned:
+                if self._state_list[i].halted:
+                    self.slot_masks.halt(i)
 
     @property
     def has_active(self) -> bool:
@@ -165,12 +175,15 @@ class Simulator:
         state_list = self._state_list
         slot_of = self._slot_of
         changed = False
+        masks = self.slot_masks
         for v in crashed:
             i = slot_of.get(v)
             state = state_list[i] if i is not None else None
             if state is not None and not state.halted:
                 state.halted = True
                 changed = True
+                if masks is not None:
+                    masks.crash(i)
         if changed:
             self._active = [i for i in self._active if not state_list[i].halted]
 
@@ -211,7 +224,17 @@ class Simulator:
         )
         # Drop freshly-halted slots from the active set (no O(n) rescan), and
         # recycle every pooled inbox that was readable this round.
-        self._active = [i for i in active if not state_list[i].halted]
+        masks = self.slot_masks
+        if masks is None:
+            self._active = [i for i in active if not state_list[i].halted]
+        else:
+            still_active: List[int] = []
+            for i in active:
+                if state_list[i].halted:
+                    masks.halt(i)
+                else:
+                    still_active.append(i)
+            self._active = still_active
         for i in active:
             box = inbox_list[i]
             if box:

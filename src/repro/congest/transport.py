@@ -94,6 +94,24 @@ class Transport:
     ) -> Dict[Node, Mapping[Node, Any]]:
         raise NotImplementedError
 
+    def broadcast_discard(
+        self,
+        values: Mapping[Node, Any],
+        label: str = "broadcast",
+    ) -> None:
+        """Broadcast whose inboxes the caller discards.
+
+        Several protocol steps (the ACD's participation and degree
+        announcements) broadcast purely so the *ledger* reflects the
+        communication; the delivered inboxes are thrown away.  The default
+        implementation simply broadcasts and drops the result, so accounting
+        is identical by construction; backends that can skip inbox
+        materialisation entirely (columnar) override this with an
+        accounting-only path charged byte-identically.
+        """
+        self.broadcast(values, label=label)
+        return None
+
     def charge_silent_round(self, label: str = "silent") -> None:
         self.ledger.record_round(label, 0, 0, 0)
 
@@ -467,13 +485,23 @@ _TRANSPORT_KINDS = {
     "slot": SlotTransport,
 }
 
-#: Backends selectable via ``Network(backend=...)``.
-TRANSPORT_BACKENDS: Tuple[str, ...] = tuple(sorted(_TRANSPORT_KINDS))
+#: Backends selectable via ``Network(backend=...)``.  ``columnar`` (the
+#: numpy flat-array sibling of ``slot``) is resolved lazily so this module —
+#: and every pure-Python backend — imports without numpy installed.
+TRANSPORT_BACKENDS: Tuple[str, ...] = tuple(sorted((*_TRANSPORT_KINDS, "columnar")))
+
+
+def _transport_class(backend):
+    if backend == "columnar":
+        from repro.congest.columnar.transport import ColumnarTransport
+
+        return ColumnarTransport
+    return _TRANSPORT_KINDS[backend]
 
 
 def make_transport(backend, topology: Topology, mode: str, bandwidth_bits: int,
                    ledger: Ledger, faults=None, fault_seed: int = 0) -> Transport:
-    """Build a transport from a backend name (``"dict"`` / ``"batch"`` / ``"slot"``).
+    """Build a transport from a backend name (``dict``/``batch``/``slot``/``columnar``).
 
     ``faults`` optionally wraps the backend in a
     :class:`~repro.faults.transport.FaultyTransport` driven by a
@@ -501,7 +529,7 @@ def make_transport(backend, topology: Topology, mode: str, bandwidth_bits: int,
             return FaultyTransport(backend, plan, seed=fault_seed)
         return backend
     try:
-        cls = _TRANSPORT_KINDS[backend]
+        cls = _transport_class(backend)
     except (KeyError, TypeError):
         raise ValueError(
             f"unknown transport backend: {backend!r} "

@@ -100,6 +100,24 @@ def _similarity_buddy_edges(
         sigma_cap=sigma_cap,
         seed=seed,
     )
+    if network.backend == "columnar" and getattr(
+        network.transport, "supports_columnar_sweep", False
+    ):
+        # The columnar backend runs this sweep — the dominant compute of
+        # every large run — as flat uint64 kernels, byte-identical to the
+        # scalar path below (fault-wrapped transports rename the backend to
+        # "columnar+faults" and therefore keep the reference path).  It
+        # declines (returning None, before any ledger effect) outside its
+        # exactly-reproducible parameter regime.
+        from repro.congest.columnar.sweep import columnar_buddy_edges
+
+        buddies = columnar_buddy_edges(
+            network, neighborhoods, degrees, candidate_edges,
+            params=sim_params, seed=seed, label="acd:buddy",
+            threshold_coeff=1.0 - 1.5 * eps,
+        )
+        if buddies is not None:
+            return buddies
     results = estimate_similarity_on_edges(
         network, neighborhoods, edges=candidate_edges, params=sim_params,
         seed=seed, label="acd:buddy",
@@ -278,8 +296,11 @@ def compute_acd(
 
     active_set = set(active) if active is not None else set(network.nodes)
 
-    # Round 1: participation + induced degree announcement.
-    network.broadcast(
+    # Round 1: participation + induced degree announcement.  The simulator
+    # computes neighborhoods/degrees from the graph directly, so the inboxes
+    # of both broadcasts are discarded — broadcast_discard charges them
+    # identically while letting the columnar backend skip the inbox fill.
+    network.broadcast_discard(
         {v: Message(content=True, bits=1, label="acd:participation") for v in active_set},
         label="acd:participation",
     )
@@ -287,7 +308,7 @@ def compute_acd(
         v: {u for u in network.neighbors(v) if u in active_set} for v in active_set
     }
     degrees = {v: len(neighborhoods[v]) for v in active_set}
-    network.broadcast(
+    network.broadcast_discard(
         {
             v: integer_message(degrees[v], max(2, network.number_of_nodes), label="acd:degree")
             for v in active_set

@@ -106,6 +106,22 @@ class ColorHasher:
         """Package ``color`` for a message addressed to ``owner``."""
         return Message(content=self.value_for(owner, color), bits=self.color_bits(), label=label)
 
+    def encode_shared(self, color: Color, label: str = "color") -> Optional[Message]:
+        """One message reusable for every receiver, or ``None`` in hashed mode.
+
+        In direct mode the encoding is receiver-independent (the color is
+        sent verbatim), so a sender announcing one color to its whole
+        neighbourhood can build a single frozen :class:`Message` and address
+        it to everyone — content, bits and label are exactly what
+        :meth:`encode_for` would produce per receiver, and payload sizing is
+        identity-memoized per round, so the ledger sees identical charges.
+        In hashed mode encodings are per-receiver; callers fall back to
+        :meth:`encode_for`.
+        """
+        if self.mode != "direct":
+            return None
+        return Message(content=color, bits=self.color_space.bits, label=label)
+
     def matches(self, owner: Node, color: Color, received_value: Hashable) -> bool:
         """Does ``color`` (known to ``owner``) correspond to a received encoding?"""
         return self.value_for(owner, color) == received_value

@@ -43,8 +43,16 @@ def announce_adoptions(
         return
     messages = {}
     for v, color in adopted.items():
-        for u in state.network.neighbors(v):
-            messages[(v, u)] = state.hasher.encode_for(u, color, label=f"{label}:adopt")
+        # Direct mode: one receiver-independent Message reused for the whole
+        # neighbourhood (payload sizing is identity-memoized per round, so the
+        # ledger charges are unchanged); hashed mode encodes per receiver.
+        shared = state.hasher.encode_shared(color, label=f"{label}:adopt")
+        if shared is None:
+            for u in state.network.neighbors(v):
+                messages[(v, u)] = state.hasher.encode_for(u, color, label=f"{label}:adopt")
+        else:
+            for u in state.network.neighbors(v):
+                messages[(v, u)] = shared
     delivered = state.network.exchange(messages, label=f"{label}:adopt")
     for (sender, receiver), value in delivered.items():
         if state.is_colored(receiver):
@@ -82,11 +90,17 @@ def try_color(
         state.network.charge_silent_round(label=f"{label}:adopt")
         return set()
 
-    # Round 1: everyone announces the color it is trying.
+    # Round 1: everyone announces the color it is trying.  As in
+    # announce_adoptions, direct mode shares one Message per proposer.
     messages = {}
     for v, color in proposals.items():
-        for u in state.network.neighbors(v):
-            messages[(v, u)] = state.hasher.encode_for(u, color, label=f"{label}:propose")
+        shared = state.hasher.encode_shared(color, label=f"{label}:propose")
+        if shared is None:
+            for u in state.network.neighbors(v):
+                messages[(v, u)] = state.hasher.encode_for(u, color, label=f"{label}:propose")
+        else:
+            for u in state.network.neighbors(v):
+                messages[(v, u)] = shared
     delivered = state.network.exchange(messages, label=f"{label}:propose")
     received: Dict[Node, Dict[Node, Hashable]] = {v: {} for v in proposals}
     for (sender, receiver), value in delivered.items():

@@ -31,6 +31,7 @@ from repro.experiments.artifacts import (
 )
 from repro.experiments.compare import (
     Finding,
+    compare_rss,
     compare_summaries,
     compare_timing,
     gate_passes,
@@ -71,6 +72,7 @@ __all__ = [
     "aggregate_suite",
     "canonical_dumps",
     "check_spec_params",
+    "compare_rss",
     "compare_summaries",
     "compare_timing",
     "derive_seed",

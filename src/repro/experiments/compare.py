@@ -206,6 +206,54 @@ def compare_timing(
     return findings
 
 
+def compare_rss(
+    baseline: Mapping[str, object],
+    fresh: Mapping[str, object],
+    budget: float = 0.25,
+    strict: bool = False,
+) -> List[Finding]:
+    """Soft peak-memory gate: is the fresh run's RSS within budget?
+
+    ``baseline`` and ``fresh`` are per-suite timing entries (the same shape
+    :func:`compare_timing` consumes); their per-scenario high-water marks
+    live in the ``peak_rss_mb`` map.  ``budget`` is the allowed fractional
+    growth (0.25 = a scenario may peak 25% higher than the committed
+    baseline).  Like timing, memory is machine-dependent — allocator, page
+    size, interpreter version all move it — so violations are ``"warn"``
+    findings by default and ``"fail"`` only under ``strict``.  A baseline
+    entry predating the ``peak_rss_mb`` field yields one informational
+    finding instead of a spurious violation.  Improvements are never
+    flagged.
+    """
+    severity = "fail" if strict else "warn"
+    findings: List[Finding] = []
+    base_rss: Mapping[str, object] = baseline.get("peak_rss_mb") or {}
+    fresh_rss: Mapping[str, object] = fresh.get("peak_rss_mb") or {}
+    if not base_rss:
+        findings.append(Finding(
+            "info", "-", "peak_rss_mb",
+            "baseline has no peak_rss_mb map (predates the RSS gate); "
+            "refresh the committed timing snapshot",
+        ))
+        return findings
+    for name in sorted(set(base_rss) - set(fresh_rss)):
+        findings.append(Finding("info", name, "peak_rss_mb",
+                                "scenario missing from fresh RSS map"))
+    for name in sorted(set(fresh_rss) - set(base_rss)):
+        findings.append(Finding("info", name, "peak_rss_mb",
+                                "scenario not in the RSS baseline"))
+    for name in sorted(set(base_rss) & set(fresh_rss)):
+        old = float(base_rss[name])
+        new = float(fresh_rss[name])
+        if old > 0 and new > old * (1.0 + budget):
+            findings.append(Finding(
+                severity, name, "peak_rss_mb",
+                f"over memory budget: {old:g}MiB -> {new:g}MiB "
+                f"({(new - old) / old:+.0%}, budget +{budget:.0%})",
+            ))
+    return findings
+
+
 def gate_passes(findings: List[Finding]) -> bool:
     """True when no finding is fatal (``"warn"`` and ``"info"`` both pass)."""
     return not any(f.severity == "fail" for f in findings)

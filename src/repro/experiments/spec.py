@@ -26,7 +26,7 @@ from repro.utils.rng import derive_seed  # noqa: F401  (re-exported: the
 # seed-derivation chain now lives with the other deterministic-rng utilities
 # so the fault layer can share it without depending on the experiments layer)
 
-BACKENDS = ("batch", "dict", "slot")
+BACKENDS = ("batch", "columnar", "dict", "slot")
 LEDGERS = ("records", "counters")
 MODES = ("congest", "local")
 

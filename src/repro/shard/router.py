@@ -39,6 +39,8 @@ from repro.congest.errors import BandwidthExceeded
 from repro.congest.message import Message
 from repro.congest.topology import Topology
 from repro.congest.transport import BatchTransport, _memoized_bits
+from repro.congest.columnar import HAVE_NUMPY
+from repro.congest.columnar.buffers import PackedEdgeBatch
 from repro.metrics.ledger import Ledger
 from repro.shard.plan import ShardPlan
 
@@ -49,7 +51,10 @@ DirectedEdge = Tuple[Node, Node]
 RoundStats = Tuple[int, int, int]
 
 #: A cut batch: (sender_slot, receiver_slot, unwrapped payload) triples, in
-#: the sender shard's send order (ascending sender slot).
+#: the sender shard's send order (ascending sender slot).  With numpy
+#: installed the router ships each batch as a
+#: :class:`~repro.congest.columnar.buffers.PackedEdgeBatch` — flat slot
+#: arrays plus a payload list — which iterates as the same triples.
 CutBatch = List[Tuple[int, int, Any]]
 
 
@@ -133,6 +138,16 @@ class ShardRouter(BatchTransport):
             raise BandwidthExceeded(
                 worst_edge, max_edge_bits, self.bandwidth_bits, label
             )
+        if HAVE_NUMPY and cut:
+            # Pack each batch's slots into flat int64 arrays before the
+            # channel: two array buffers + a payload list pickle far cheaper
+            # than one boxed tuple per cut edge, and the receiving loop is
+            # agnostic — it iterates (sender_slot, receiver_slot, payload)
+            # triples either way.
+            cut = {
+                dest: PackedEdgeBatch.from_triples(batch)
+                for dest, batch in cut.items()
+            }
         incoming = self.channel.exchange_round(
             label, (count, total_bits, max_edge_bits), cut
         )

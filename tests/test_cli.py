@@ -138,7 +138,7 @@ class TestSuiteCommands:
                      "--fresh", str(suite_path), "--timing-budget", "25",
                      "--timing-baseline", str(tmp_path / "missing.json")]) == 0
         out = capsys.readouterr().out
-        assert "timing check skipped" in out and "PASS" in out
+        assert "timing/RSS checks skipped" in out and "PASS" in out
 
     def test_suite_compare_timing_budget_warns_but_passes(self, capsys, tmp_path):
         import json

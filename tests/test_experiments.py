@@ -12,6 +12,7 @@ from repro.experiments import (
     ScenarioSpec,
     aggregate_suite,
     canonical_dumps,
+    compare_rss,
     compare_summaries,
     compare_timing,
     derive_seed,
@@ -369,6 +370,46 @@ class TestTimingGate:
     def test_scenario_set_differences_are_informational(self):
         fresh = {"total_wall_s": 10.0, "scenarios": {"a": 4.0, "c": 1.0}}
         findings = compare_timing(self.BASE, fresh, budget=0.25, strict=True)
+        assert {f.severity for f in findings} == {"info"}
+        assert gate_passes(findings)
+
+
+class TestRssGate:
+    BASE = {"total_wall_s": 10.0, "scenarios": {"a": 4.0, "b": 6.0},
+            "peak_rss_mb": {"a": 100.0, "b": 400.0}}
+
+    def test_within_budget_is_silent(self):
+        fresh = {"peak_rss_mb": {"a": 110.0, "b": 440.0}}
+        findings = compare_rss(self.BASE, fresh, budget=0.25)
+        assert findings == [] and gate_passes(findings)
+
+    def test_memory_win_is_never_flagged(self):
+        fresh = {"peak_rss_mb": {"a": 10.0, "b": 40.0}}
+        assert compare_rss(self.BASE, fresh, budget=0.25) == []
+
+    def test_over_budget_warns_but_passes_the_gate(self):
+        fresh = {"peak_rss_mb": {"a": 200.0, "b": 400.0}}
+        findings = compare_rss(self.BASE, fresh, budget=0.25)
+        assert any(f.severity == "warn" and f.scenario == "a"
+                   and "memory budget" in f.detail for f in findings)
+        assert gate_passes(findings)
+
+    def test_strict_rss_fails_the_gate(self):
+        fresh = {"peak_rss_mb": {"a": 200.0, "b": 400.0}}
+        findings = compare_rss(self.BASE, fresh, budget=0.25, strict=True)
+        assert not gate_passes(findings)
+
+    def test_baseline_without_rss_map_is_informational(self):
+        stale = {"total_wall_s": 10.0, "scenarios": {"a": 4.0}}
+        findings = compare_rss(stale, {"peak_rss_mb": {"a": 1.0}},
+                               budget=0.25, strict=True)
+        assert [f.severity for f in findings] == ["info"]
+        assert "peak_rss_mb" in findings[0].detail
+        assert gate_passes(findings)
+
+    def test_scenario_set_differences_are_informational(self):
+        fresh = {"peak_rss_mb": {"a": 100.0, "c": 1.0}}
+        findings = compare_rss(self.BASE, fresh, budget=0.25, strict=True)
         assert {f.severity for f in findings} == {"info"}
         assert gate_passes(findings)
 

@@ -15,6 +15,7 @@ import networkx as nx
 
 import repro.shard.sweep as sweep_mod
 from repro.congest import Network, NodeProgram, Simulator
+from repro.congest.columnar import HAVE_NUMPY
 from repro.core import solve_d1c, solve_d1lc
 from repro.experiments import (
     aggregate_suite, canonical_dumps, run_scenarios,
@@ -28,6 +29,11 @@ from repro.shard import (
 )
 
 SHARD_COUNTS = (1, 2, 4, 7)
+
+#: Serial backends the sharded execution must stay byte-identical to.  The
+#: columnar core joins whenever numpy is importable: slot == columnar ==
+#: sharded closes the three-way equivalence triangle.
+SERIAL_BACKENDS = ("slot",) + (("columnar",) if HAVE_NUMPY else ())
 
 
 # --------------------------------------------------------------------------- #
@@ -88,8 +94,8 @@ def _families():
     ]
 
 
-def _run_serial(graph, program_cls, seed=7, faults=None):
-    net = Network(graph, backend="slot", ledger="records", faults=faults,
+def _run_serial(graph, program_cls, seed=7, faults=None, backend="slot"):
+    net = Network(graph, backend=backend, ledger="records", faults=faults,
                   fault_seed=13)
     result = Simulator(net, program_cls(), seed=seed).run()
     return result, net
@@ -108,8 +114,10 @@ def _ledger_records(net):
             for r in net.ledger.records]
 
 
-def _assert_equivalent(graph, program_cls, shards, workers, faults=None):
-    serial, net0 = _run_serial(graph, program_cls, faults=faults)
+def _assert_equivalent(graph, program_cls, shards, workers, faults=None,
+                       serial_backend="slot"):
+    serial, net0 = _run_serial(graph, program_cls, faults=faults,
+                               backend=serial_backend)
     sharded, net1 = _run_sharded(graph, program_cls, shards, workers,
                                  faults=faults)
     assert sharded.outputs == serial.outputs
@@ -207,6 +215,28 @@ class TestShardedSimulatorEquivalence:
     def test_fault_free_fork_runtime(self, shards):
         for _name, graph in _families():
             _assert_equivalent(graph, RandomGossip, shards, "fork")
+
+    @pytest.mark.parametrize("backend", SERIAL_BACKENDS)
+    @pytest.mark.parametrize("program_cls", [FloodMin, RandomGossip,
+                                             StaggeredHalt])
+    def test_serial_backend_matches_sharded(self, backend, program_cls):
+        # slot == columnar == sharded: any serial backend's run must match
+        # the partitioned execution byte for byte.
+        for _name, graph in _families():
+            _assert_equivalent(graph, program_cls, 4, "thread",
+                               serial_backend=backend)
+
+    @pytest.mark.parametrize("backend", SERIAL_BACKENDS)
+    @pytest.mark.parametrize("faults", [
+        {"drop": 0.15},
+        {"corrupt": 0.02},
+        {"crash": {2: (5, 11)}},
+    ])
+    def test_serial_backend_matches_sharded_under_faults(self, backend,
+                                                         faults):
+        for _name, graph in _families():
+            _assert_equivalent(graph, FloodMin, 3, "thread", faults=faults,
+                               serial_backend=backend)
 
     @pytest.mark.parametrize("shards", SHARD_COUNTS)
     @pytest.mark.parametrize("faults", [
@@ -337,24 +367,26 @@ class TestShardedSweep:
         results = estimate_similarity_on_edges(net, sets, seed=1)
         assert results  # computed, serially, with identical semantics
 
+    @pytest.mark.parametrize("backend", SERIAL_BACKENDS)
     @pytest.mark.parametrize("solver", [solve_d1c, solve_d1lc])
-    def test_solver_bytes_identical(self, monkeypatch, solver):
+    def test_solver_bytes_identical(self, monkeypatch, solver, backend):
         monkeypatch.setattr(sweep_mod, "MIN_SHARDED_WORK", 0)
         graph = gnp_fast_graph(70, avg_degree=7.0, seed=6)
         base = solver(graph, seed=11, backend="slot")
         for shards in (2, 7):
-            got = solver(graph, seed=11, backend="slot", shards=shards)
+            got = solver(graph, seed=11, backend=backend, shards=shards)
             assert got.coloring == base.coloring
             assert (got.rounds, got.total_bits, got.max_edge_bits) == \
                 (base.rounds, base.total_bits, base.max_edge_bits)
 
-    def test_solver_bytes_identical_under_faults(self, monkeypatch):
+    @pytest.mark.parametrize("backend", SERIAL_BACKENDS)
+    def test_solver_bytes_identical_under_faults(self, monkeypatch, backend):
         monkeypatch.setattr(sweep_mod, "MIN_SHARDED_WORK", 0)
         graph = ring_of_cliques(6, 6)
-        kwargs = dict(seed=3, backend="slot", faults={"drop": 0.05,
-                                                      "corrupt": 1e-3})
-        base = solve_d1c(graph, **kwargs)
-        got = solve_d1c(graph, shards=3, **kwargs)
+        base = solve_d1c(graph, seed=3, backend="slot",
+                         faults={"drop": 0.05, "corrupt": 1e-3})
+        got = solve_d1c(graph, seed=3, backend=backend, shards=3,
+                        faults={"drop": 0.05, "corrupt": 1e-3})
         assert got.coloring == base.coloring
         assert got.fault_stats == base.fault_stats
 

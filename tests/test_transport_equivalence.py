@@ -1,4 +1,4 @@
-"""Cross-backend equivalence: Dict, Batch and Slot transports must agree.
+"""Cross-backend equivalence: Dict, Batch, Slot and Columnar must agree.
 
 The paper-fidelity contract (DESIGN.md) is that the transport backend is a
 performance choice only: for the same inputs and seeds, every backend must
@@ -6,7 +6,9 @@ deliver the same payloads and charge byte-identical ledgers — same rounds,
 labels, message counts, total bits and per-round maxima.  This suite checks
 that contract at the primitive level and end-to-end on several graph
 families, including small instances of the ``scale`` suite's families
-(geometric, power-law, ring-of-cliques).
+(geometric, power-law, ring-of-cliques).  The numpy-backed ``columnar``
+backend joins the matrix whenever numpy is importable (it is an optional
+runtime dependency of that backend only).
 """
 
 import networkx as nx
@@ -14,6 +16,7 @@ import pytest
 
 from repro.baselines import johansson_coloring
 from repro.congest import Message, Network, Simulator
+from repro.congest.columnar import HAVE_NUMPY
 from repro.congest.transport import EMPTY_INBOX
 from repro.core import solve_d1c, solve_d1lc
 from repro.graphs import (
@@ -27,8 +30,9 @@ from repro.graphs import (
 from repro.graphs.generators import triangle_rich_graph
 from repro.metrics.ledger import CounterLedger, RecordingLedger
 
-BACKENDS = ("dict", "batch", "slot")
-FAST_BACKENDS = ("batch", "slot")  # measured against the "dict" reference
+_COLUMNAR = ("columnar",) if HAVE_NUMPY else ()
+BACKENDS = ("dict", "batch", "slot") + _COLUMNAR
+FAST_BACKENDS = ("batch", "slot") + _COLUMNAR  # vs the "dict" reference
 
 
 def ledger_tuple(network: Network):
@@ -237,6 +241,38 @@ class TestEndToEndEquivalence:
             outputs.append(Simulator(net, FloodMin(), seed=5).run().outputs)
         assert all(out == outputs[0] for out in outputs[1:])
         assert_identical_ledgers(*nets)
+
+
+#: Fault plans the equivalence matrix runs under; the fault-free plan is the
+#: existing end-to-end tests above.  Perturbations are deterministic pure
+#: functions of (master seed, round, edge), so every backend — including the
+#: columnar core, whose fault runs keep the reference delivery path — must
+#: stay byte-identical under them.
+FAULT_PLANS = {
+    "drop": {"drop": 0.05},
+    "corrupt": {"corrupt": 1e-3},
+    "crash": {"crash": {3: (5,), 7: (9,)}},
+}
+
+
+class TestFaultedEquivalence:
+    @pytest.mark.parametrize("family", sorted(GRAPH_FAMILIES))
+    @pytest.mark.parametrize("plan", sorted(FAULT_PLANS))
+    def test_faulted_d1c_identical_across_backends(self, family, plan):
+        graph = GRAPH_FAMILIES[family]()
+        results = {
+            backend: solve_d1c(graph, seed=11, backend=backend,
+                               faults=FAULT_PLANS[plan], fault_seed=13)
+            for backend in BACKENDS
+        }
+        a = results["dict"]
+        for backend in FAST_BACKENDS:
+            b = results[backend]
+            assert a.coloring == b.coloring, backend
+            assert (a.rounds, a.total_bits, a.max_edge_bits) == (
+                b.rounds, b.total_bits, b.max_edge_bits
+            ), backend
+            assert a.fault_stats == b.fault_stats, backend
 
 
 class TestLedgerBackends:
