@@ -10,6 +10,7 @@ records both wall-clocks plus peak RSS::
     PYTHONPATH=src python benchmarks/bench_massive.py --tier n200k    # n=200k tier
     PYTHONPATH=src python benchmarks/bench_massive.py --smoke --backend columnar
     PYTHONPATH=src python benchmarks/bench_massive.py --only massive-ring-n200000-d1c
+    PYTHONPATH=src python benchmarks/bench_massive.py --tier n500k --progress --trace /tmp/traces
 
 The snapshot lands in ``BENCH_massive_smoke.json`` (or ``--out DIR``): one
 entry per scenario with ``serial_wall_s``, ``sharded_wall_s``, ``speedup``,
@@ -52,13 +53,31 @@ def _children_peak_rss_mb() -> float:
     return round(peak / (1024.0 * 1024.0), 1)
 
 
-def _leg_main(conn, name: str, shards, workers: int, backend: str = "slot") -> None:
+def _leg_main(conn, name: str, shards, workers: int, backend: str = "slot",
+              progress: bool = False, trace_dir=None) -> None:
     """Run one (scenario, shard-setting) leg and report back over a pipe."""
     from repro.experiments import aggregate_suite, canonical_dumps, run_suite
     from repro.shard import shutdown_pool
 
+    progress_cb = None
+    if progress:
+        from repro.obs import Heartbeat, current_rss_mb
+
+        heartbeat = Heartbeat(interval_s=0.0)
+        leg = "serial" if shards is None else f"shards={shards}"
+        started = time.perf_counter()
+
+        def progress_cb(row):
+            heartbeat.beat(
+                f"[massive {leg}] {row['scenario']} trial {row['trial']}: "
+                f"rounds={row.get('rounds', '-')} "
+                f"elapsed={round(time.perf_counter() - started, 1)}s "
+                f"rss={current_rss_mb()}MiB"
+            )
+
     result = run_suite("massive", workers=workers, backend=backend,
-                       only=[name], shards=shards)
+                       only=[name], shards=shards, progress=progress_cb,
+                       trace_dir=trace_dir)
     shutdown_pool()  # reap the sweep workers so RUSAGE_CHILDREN sees them
     conn.send({
         "aggregate": canonical_dumps(aggregate_suite(result)),
@@ -69,7 +88,8 @@ def _leg_main(conn, name: str, shards, workers: int, backend: str = "slot") -> N
     conn.close()
 
 
-def _measure_leg(name: str, shards, workers: int, backend: str = "slot"):
+def _measure_leg(name: str, shards, workers: int, backend: str = "slot",
+                 progress: bool = False, trace_dir=None):
     """One leg in a forked subprocess, so per-leg RSS is honest.
 
     ``ru_maxrss`` is a process-lifetime high-water mark; measured in-process
@@ -87,7 +107,8 @@ def _measure_leg(name: str, shards, workers: int, backend: str = "slot"):
         ctx = multiprocessing.get_context("fork")
         parent, child = ctx.Pipe()
         proc = ctx.Process(target=_leg_main,
-                           args=(child, name, shards, workers, backend))
+                           args=(child, name, shards, workers, backend,
+                                 progress, trace_dir))
         proc.start()
         child.close()
         try:
@@ -107,20 +128,29 @@ def _measure_leg(name: str, shards, workers: int, backend: str = "slot"):
             def close(self):
                 pass
 
-        _leg_main(_Inline(), name, shards, workers, backend)
+        _leg_main(_Inline(), name, shards, workers, backend, progress,
+                  trace_dir)
         payload = conn_payload
     return round(time.perf_counter() - start, 2), payload
 
 
 def run_head_to_head(names, shards: int, workers: int = 1,
-                     backend: str = "slot"):
+                     backend: str = "slot", progress: bool = False,
+                     trace_dir=None):
     entries = {}
     cpus = _cpus()
+    # Each leg traces into its own subdirectory — both legs emit
+    # TRACE_<scenario>.jsonl, and the serial-vs-sharded pair is exactly what
+    # `repro trace compare` wants to diff afterwards.
+    serial_traces = Path(trace_dir) / "serial" if trace_dir else None
+    sharded_traces = Path(trace_dir) / f"shards{shards}" if trace_dir else None
     for name in names:
         print(f"[{name}] serial {backend} ...", flush=True)
-        serial_s, serial = _measure_leg(name, None, workers, backend)
+        serial_s, serial = _measure_leg(name, None, workers, backend,
+                                        progress, serial_traces)
         print(f"[{name}] serial {serial_s}s; sharded x{shards} ...", flush=True)
-        sharded_s, sharded = _measure_leg(name, shards, workers, backend)
+        sharded_s, sharded = _measure_leg(name, shards, workers, backend,
+                                          progress, sharded_traces)
         identical = serial["aggregate"] == sharded["aggregate"]
         row = serial["row"]
         entries[name] = {
@@ -171,6 +201,14 @@ def main(argv=None) -> int:
                              "columnar needs numpy)")
     parser.add_argument("--out", type=Path, default=REPO_ROOT,
                         help="directory for the snapshot")
+    parser.add_argument("--progress", action="store_true",
+                        help="emit a heartbeat line to stderr per completed "
+                             "trial on both legs (observation-only; the "
+                             "500k legs are long — this shows they're alive)")
+    parser.add_argument("--trace", type=Path, default=None, metavar="DIR",
+                        help="write TRACE_<scenario>.jsonl round traces under "
+                             "DIR/serial and DIR/shards<N> (observation-only: "
+                             "aggregates stay byte-identical)")
     args = parser.parse_args(argv)
 
     from repro.experiments import canonical_dumps, get_suite
@@ -195,7 +233,8 @@ def main(argv=None) -> int:
         parser.error("no scenarios selected")
 
     entries = run_head_to_head(names, shards=args.shards, workers=args.workers,
-                               backend=args.backend)
+                               backend=args.backend, progress=args.progress,
+                               trace_dir=args.trace)
     out_path = args.out / SNAPSHOT_FILENAME
     snapshot = {"schema": SCHEMA, "cpus": _cpus(), "scenarios": entries}
     if out_path.exists():

@@ -21,6 +21,11 @@ be run without writing Python::
     python -m repro.cli suite compare --baseline BENCH_suite.json
     python -m repro.cli suite compare --baseline BENCH_suite.json --timing-budget 50
     python -m repro.cli suite compare --baseline BENCH_robustness.json
+    python -m repro.cli suite compare --comm-budget 10 --comm-baseline BENCH_comm.json
+    python -m repro.cli trace summarize TRACE_gnp-d1c.jsonl --json
+    python -m repro.cli report smoke --dir /tmp/out
+    python -m repro.cli report gnp-d1c --dir /tmp/out --html /tmp/report.html
+    python -m repro.cli report trend --dir /tmp/out
 
 Each subcommand prints a plain-text table of the measurements the paper's
 statements are about (rounds, bandwidth, validity, detection quality).  The
@@ -271,6 +276,20 @@ def cmd_suite_run(args: argparse.Namespace) -> int:
     written = ", ".join(str(paths[kind]) for kind in ("suite", "trials", "timing")
                         if kind in paths)
     print(f"\nwrote {written}")
+    # Append this run to the out dir's run-history registry (see
+    # `repro report trend`).  Observation-only: the record is derived from
+    # the artifacts just written, never read back into a run.
+    from repro.obs.analytics import RUNS_FILENAME, append_run, run_record
+
+    append_run(out_dir / RUNS_FILENAME, run_record(
+        summary, timing=None if args.profile else timing,
+        timestamp=time.time(),
+        knobs={
+            "backend": args.backend, "shards": args.shards,
+            "workers": args.workers, "trials": args.trials,
+            "only": args.only, "faults": args.faults,
+        },
+    ))
     if trace_dir is not None:
         from repro.obs import trace_filename
 
@@ -348,6 +367,26 @@ def cmd_suite_compare(args: argparse.Namespace) -> int:
         fresh_timing = timing_summary(result)
     findings = compare_summaries(baseline, fresh,
                                  max_regression=args.max_regression / 100.0)
+    if args.comm_budget is not None:
+        # The comm gate is hard (fail severity): communication volumes are
+        # byte-deterministic, so unlike timing/RSS there is no machine noise
+        # to soften for.
+        import json as _json
+
+        from repro.experiments.compare import Finding
+        from repro.obs.analytics import compare_comm
+
+        try:
+            comm_baseline = _json.loads(Path(args.comm_baseline).read_text())
+        except (OSError, ValueError) as exc:
+            findings.append(Finding(
+                "fail", "-", "comm_baseline",
+                f"failed to load {args.comm_baseline}: {exc}",
+            ))
+        else:
+            findings.extend(compare_comm(
+                comm_baseline, fresh, budget=args.comm_budget / 100.0,
+            ))
     if wants_timing_artifact and fresh_timing is not None:
         # The timing/RSS checks are soft by design: a missing/stale baseline
         # file (or one without this suite's entry) skips them with a note
@@ -386,8 +425,21 @@ def cmd_suite_compare(args: argparse.Namespace) -> int:
 
 
 def cmd_trace_summarize(args: argparse.Namespace) -> int:
-    from repro.obs import load_trace, render_timeline, summarize_trace
+    import json
 
+    from repro.obs import (
+        load_trace, render_timeline, summarize_trace, summary_as_dict,
+    )
+
+    if args.json:
+        # Machine-readable shape: one key per trace file, key-sorted and
+        # stable — CI consumes this without scraping tables.
+        payload = {
+            Path(path).name: summary_as_dict(summarize_trace(load_trace(Path(path))))
+            for path in args.trace
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     for index, path in enumerate(args.trace):
         if index:
             print()
@@ -400,7 +452,12 @@ def cmd_trace_summarize(args: argparse.Namespace) -> int:
 
 
 def cmd_trace_compare(args: argparse.Namespace) -> int:
-    from repro.obs import TRACE_PREFIX, compare_traces, load_trace, render_comparison
+    import json
+
+    from repro.obs import (
+        TRACE_PREFIX, compare_traces, comparison_as_dict, load_trace,
+        render_comparison,
+    )
 
     def short(path: Path) -> str:
         stem = path.stem
@@ -414,9 +471,98 @@ def cmd_trace_compare(args: argparse.Namespace) -> int:
         name_b = f"{path_b.parent.name or 'b'}/{name_b}"
     events_a = load_trace(path_a)
     events_b = load_trace(path_b)
+    if args.json:
+        payload = comparison_as_dict(events_a, events_b,
+                                     name_a=name_a, name_b=name_b)
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0 if payload["identical"] else 1
     print(render_comparison(events_a, events_b, name_a=name_a, name_b=name_b))
     # diff semantics: exit 1 when the deterministic columns drifted.
     return 1 if compare_traces(events_a, events_b) else 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments import SUITE_FILENAME, load_suite_summary
+    from repro.obs import (
+        TRACE_PREFIX, TRACE_SUFFIX, load_trace, render_timeline,
+        summarize_trace,
+    )
+    from repro.obs.analytics import (
+        detect_trends, load_runs, render_report, shard_balance,
+        suite_overview_rows, trend_rows,
+    )
+    from repro.experiments.compare import gate_passes
+
+    report_dir = Path(args.dir)
+
+    if args.target == "trend":
+        runs = load_runs(Path(args.runs) if args.runs
+                         else report_dir / "RUNS.jsonl")
+        if not runs:
+            print("no run history found (suite runs append to RUNS.jsonl "
+                  "in their --out directory)")
+            return 0
+        print(format_table(trend_rows(runs),
+                           title=f"run history ({len(runs)} runs)"))
+        findings = detect_trends(runs, wall_budget=args.wall_budget / 100.0,
+                                 rss_budget=args.rss_budget / 100.0)
+        if findings:
+            print(format_table([f.as_row() for f in findings],
+                               title="cross-run findings"))
+        else:
+            print("no cross-run drift detected")
+        return 0 if gate_passes(findings) else 1
+
+    # Scenario or suite report: gather the aggregate (when present) and the
+    # matching TRACE_*.jsonl files from the report directory.
+    summary = None
+    suite_path = report_dir / SUITE_FILENAME
+    if suite_path.exists():
+        summary = load_suite_summary(suite_path)
+    traces = []
+    for path in sorted(report_dir.glob(f"{TRACE_PREFIX}*{TRACE_SUFFIX}")):
+        name = path.stem[len(TRACE_PREFIX):]
+        if (
+            args.target == name
+            or (summary is not None and summary.get("suite") == args.target)
+        ):
+            traces.append((name, load_trace(path)))
+    if summary is not None and summary.get("suite") != args.target:
+        # Scenario target: narrow the overview to the one scenario.
+        scenarios = summary.get("scenarios", {})
+        if args.target in scenarios:
+            summary = dict(summary)
+            summary["scenarios"] = {args.target: scenarios[args.target]}
+        else:
+            summary = None
+    if summary is None and not traces:
+        print(f"nothing to report: no {SUITE_FILENAME} for suite/scenario "
+              f"{args.target!r} and no matching {TRACE_PREFIX}*{TRACE_SUFFIX} "
+              f"in {report_dir}")
+        return 2
+
+    if summary is not None:
+        print(format_table(suite_overview_rows(summary),
+                           title=f"report: {args.target}"))
+    for name, events in traces:
+        print()
+        print(render_timeline(summarize_trace(events),
+                              title=f"phase timeline: {name}"))
+        balance = shard_balance(events)
+        if balance:
+            print(f"shard balance: {balance['shards']} shards, "
+                  f"imbalance ratio {balance['imbalance_ratio']}, "
+                  f"cut fraction {balance['cut_fraction']}")
+
+    html_path = Path(args.html) if args.html else (
+        report_dir / f"REPORT_{args.target}.html"
+    )
+    html_path.parent.mkdir(parents=True, exist_ok=True)
+    html_path.write_text(render_report(
+        f"repro report: {args.target}", summary=summary, traces=traces,
+    ))
+    print(f"\nwrote {html_path}")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -572,6 +718,17 @@ def build_parser() -> argparse.ArgumentParser:
     s_compare.add_argument("--strict-rss", action="store_true",
                            help="escalate rss-budget violations from warnings "
                                 "to gate failures")
+    s_compare.add_argument("--comm-budget", type=float, default=None, metavar="PCT",
+                           help="opt-in hard comm-volume check: fail when a "
+                                "scenario's per-log2(n) comm coefficient "
+                                "(max_edge_bits, bits_per_node) exceeds the "
+                                "committed comm baseline by more than PCT%% "
+                                "(comm volumes are deterministic, so this is "
+                                "a fail-severity gate, unlike timing/RSS)")
+    s_compare.add_argument("--comm-baseline", default="BENCH_comm.json",
+                           help="committed comm baseline for --comm-budget "
+                                "(build with repro.obs.analytics."
+                                "build_comm_baseline)")
     add_suite_run_options(s_compare)
     s_compare.set_defaults(func=cmd_suite_compare)
 
@@ -585,6 +742,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="render a trace's phase timeline (rounds, bits, wall time per phase)",
     )
     t_sum.add_argument("trace", nargs="+", help="TRACE_*.jsonl file(s)")
+    t_sum.add_argument("--json", action="store_true",
+                       help="emit the summaries as key-sorted JSON (one key "
+                            "per trace file) instead of tables")
     t_sum.set_defaults(func=cmd_trace_summarize)
 
     t_cmp = trace_sub.add_parser(
@@ -595,7 +755,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     t_cmp.add_argument("a", help="first TRACE_*.jsonl")
     t_cmp.add_argument("b", help="second TRACE_*.jsonl")
+    t_cmp.add_argument("--json", action="store_true",
+                       help="emit both summaries plus the deterministic "
+                            "drift as key-sorted JSON (same exit semantics)")
     t_cmp.set_defaults(func=cmd_trace_compare)
+
+    report = sub.add_parser(
+        "report",
+        help="render a terminal + self-contained HTML report from BENCH/TRACE "
+             "artifacts, or 'trend' for the cross-run history",
+    )
+    report.add_argument("target",
+                        help="suite name, scenario name, or the literal "
+                             "'trend' (cross-run registry findings)")
+    report.add_argument("--dir", default=".",
+                        help="directory holding BENCH_suite.json / "
+                             "TRACE_*.jsonl / RUNS.jsonl (default: .)")
+    report.add_argument("--html", default=None, metavar="PATH",
+                        help="HTML output path (default: "
+                             "REPORT_<target>.html inside --dir)")
+    report.add_argument("--runs", default=None, metavar="FILE",
+                        help="run-history registry for 'trend' "
+                             "(default: RUNS.jsonl inside --dir)")
+    report.add_argument("--wall-budget", type=float, default=25.0, metavar="PCT",
+                        help="trend: warn when a run is more than PCT%% "
+                             "slower than its predecessor (default 25)")
+    report.add_argument("--rss-budget", type=float, default=25.0, metavar="PCT",
+                        help="trend: warn when a run peaks more than PCT%% "
+                             "above its predecessor (default 25)")
+    report.set_defaults(func=cmd_report)
     return parser
 
 

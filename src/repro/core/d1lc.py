@@ -34,7 +34,7 @@ from repro.core.shattering import deterministic_fallback
 from repro.core.sparse_phase import run_sparse_phase
 from repro.core.state import ColoringResult, ColoringState
 from repro.core.validate import validate_coloring
-from repro.metrics.ledger import rounds_by_phase
+from repro.metrics.ledger import bits_by_phase, messages_by_phase, rounds_by_phase
 
 Node = Hashable
 Color = Hashable
@@ -49,6 +49,9 @@ def _build_result(state: ColoringState, fallback_count: int) -> ColoringResult:
         rounds=network.ledger.rounds,
         rounds_by_phase=rounds_by_phase(network),
         total_bits=network.ledger.total_bits,
+        total_messages=network.ledger.total_messages,
+        bits_by_phase=bits_by_phase(network),
+        messages_by_phase=messages_by_phase(network),
         max_edge_bits=network.ledger.max_edge_bits,
         bandwidth_bits=network.bandwidth_bits,
         fallback_nodes=fallback_count,

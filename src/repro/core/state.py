@@ -116,6 +116,13 @@ class ColoringResult:
     #: Fault-layer counters (delivered/dropped/corrupted messages, crashed
     #: nodes) when the run was perturbed; ``None`` on a fault-free network.
     fault_stats: Optional[Dict[str, int]] = None
+    #: Communication-volume breakdown read off the run's ledger: total
+    #: message count plus per-phase bit/message totals (the label prefix
+    #: before ``":"``).  Deterministic across backends/ledgers/shards, like
+    #: the headline ``total_bits``.
+    total_messages: int = 0
+    bits_by_phase: Dict[str, int] = field(default_factory=dict)
+    messages_by_phase: Dict[str, int] = field(default_factory=dict)
 
     @property
     def is_valid(self) -> bool:
@@ -143,6 +150,7 @@ class ColoringResult:
             "randomized_rounds": self.randomized_rounds,
             "fallback_nodes": self.fallback_nodes,
             "total_bits": self.total_bits,
+            "total_messages": self.total_messages,
             "max_edge_bits": self.max_edge_bits,
             "bandwidth_bits": self.bandwidth_bits,
             "mode": self.mode,

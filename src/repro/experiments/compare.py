@@ -33,6 +33,8 @@ HIGHER_IS_WORSE = (
     "fallback_nodes",
     "total_bits",
     "bits_per_edge",
+    "bits_per_node",
+    "total_messages",
     "max_edge_bits",
     "colors_used",
 )

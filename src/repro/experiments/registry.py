@@ -43,6 +43,7 @@ from repro.core.acd import compute_acd
 from repro.core.multitrial import multi_trial
 from repro.core.state import ColoringResult, ColoringState
 from repro.experiments.spec import BACKENDS, LEDGERS, MODES, ScenarioSpec
+from repro.metrics.ledger import comm_row_metrics, phase_column_name
 from repro.graphs import (
     degree_plus_one_lists,
     delta_plus_one_lists,
@@ -181,20 +182,41 @@ def _coloring_fingerprint(coloring: Mapping) -> str:
     return digest[:16]
 
 
+def _phase_columns(bits_by_phase: Mapping[str, int],
+                   messages_by_phase: Mapping[str, int]) -> Dict[str, int]:
+    """Flatten per-phase ledger totals into trial-row columns.
+
+    Within a scenario every trial runs the same solver, so the phase set is
+    (near-)stable across trials; a phase that only some trials entered simply
+    drops out of the aggregate (``aggregate_rows`` skips ragged columns),
+    deterministically.
+    """
+    columns: Dict[str, int] = {}
+    for phase, bits in sorted(bits_by_phase.items()):
+        columns[phase_column_name("bits", phase)] = bits
+    for phase, msgs in sorted(messages_by_phase.items()):
+        columns[phase_column_name("messages", phase)] = msgs
+    return columns
+
+
 def _coloring_metrics(result: ColoringResult, graph: nx.Graph) -> Dict[str, object]:
     edges = max(1, graph.number_of_edges())
+    nodes = max(1, graph.number_of_nodes())
     metrics = {
         "valid": bool(result.is_valid),
         "rounds": result.rounds,
         "randomized_rounds": result.randomized_rounds,
         "fallback_nodes": result.fallback_nodes,
         "total_bits": result.total_bits,
+        "total_messages": result.total_messages,
         "bits_per_edge": round(result.total_bits / edges, 4),
+        "bits_per_node": round(result.total_bits / nodes, 4),
         "max_edge_bits": result.max_edge_bits,
         "bandwidth_bits": result.bandwidth_bits,
         "colors_used": len({c for c in result.coloring.values() if c is not None}),
         "coloring_sha": _coloring_fingerprint(result.coloring),
     }
+    metrics.update(_phase_columns(result.bits_by_phase, result.messages_by_phase))
     # Faulted runs report the perturbation outcome next to the workload
     # metrics; "valid" is then validity *under* the faults.  Fault-free rows
     # keep their historical schema (the committed baselines pin its bytes).
@@ -310,6 +332,7 @@ def _solve_acd(spec: ScenarioSpec, graph: nx.Graph, truth, seed: int,
         "max_edge_bits": network.ledger.max_edge_bits,
         "bandwidth_bits": network.bandwidth_bits,
     }
+    metrics.update(comm_row_metrics(network))
     metrics.update(acd.partition_summary())
     if truth is not None and hasattr(truth, "cliques"):
         metrics["planted_cliques"] = len(truth.cliques)
@@ -353,6 +376,7 @@ def _solve_multitrial(spec: ScenarioSpec, graph: nx.Graph, truth, seed: int,
         "max_edge_bits": network.ledger.max_edge_bits,
         "bandwidth_bits": network.bandwidth_bits,
     }
+    metrics.update(comm_row_metrics(network))
     metrics.update(_network_fault_stats(network))
     return metrics
 
@@ -374,6 +398,7 @@ def _solve_triangles(spec: ScenarioSpec, graph: nx.Graph, truth, seed: int,
         "total_bits": network.ledger.total_bits,
         "max_edge_bits": network.ledger.max_edge_bits,
     }
+    metrics.update(comm_row_metrics(network))
     # Score against exact triangle counts: every edge in >= 2*threshold
     # triangles must be flagged (Theorem 2's guarantee zone).
     rich = flagged_rich = 0
@@ -404,6 +429,7 @@ def _solve_four_cycles(spec: ScenarioSpec, graph: nx.Graph, truth, seed: int,
         "total_bits": network.ledger.total_bits,
         "max_edge_bits": network.ledger.max_edge_bits,
     }
+    metrics.update(comm_row_metrics(network))
     metrics.update(_network_fault_stats(network))
     return metrics
 

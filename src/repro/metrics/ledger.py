@@ -281,6 +281,39 @@ def rounds_by_phase(network, prefix_split: str = ":") -> Dict[str, int]:
     return _totals_by_phase(network.ledger.rounds_by_label(), prefix_split)
 
 
+def phase_column_name(kind: str, phase: str) -> str:
+    """Flat column name for one phase's totals in a trial row.
+
+    The empty phase (unlabeled rounds) maps to ``"unlabeled"`` so the column
+    name stays non-degenerate and the rounds stay visible in aggregates.
+    """
+    return f"phase_{kind}_{phase or 'unlabeled'}"
+
+
+def comm_row_metrics(network, prefix_split: str = ":") -> Dict[str, object]:
+    """Flat comm-volume columns for one trial row, from either ledger.
+
+    Emits the total message count, bits-per-node, and one
+    ``phase_bits_<phase>`` / ``phase_messages_<phase>`` column per phase that
+    charged anything — the columns the suite aggregates (and the analytics
+    layer on top of them) treat as first-class communication metrics.  Both
+    ledgers support the per-label folds, so the columns are available on
+    ``records`` and ``counters`` runs alike and are byte-identical across
+    backends, shard counts and ledgers.
+    """
+    ledger = network.ledger
+    nodes = max(1, network.number_of_nodes)
+    metrics: Dict[str, object] = {
+        "total_messages": ledger.total_messages,
+        "bits_per_node": round(ledger.total_bits / nodes, 4),
+    }
+    for phase, bits in sorted(bits_by_phase(network, prefix_split).items()):
+        metrics[phase_column_name("bits", phase)] = bits
+    for phase, msgs in sorted(messages_by_phase(network, prefix_split).items()):
+        metrics[phase_column_name("messages", phase)] = msgs
+    return metrics
+
+
 def bits_by_phase(network, prefix_split: str = ":") -> Dict[str, int]:
     """Aggregate total bits by phase label prefix (the part before ``:``)."""
     return _totals_by_phase(network.ledger.bits_by_label(), prefix_split)

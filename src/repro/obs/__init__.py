@@ -24,9 +24,11 @@ from repro.obs.summary import (
     PhaseTotals,
     TraceSummary,
     compare_traces,
+    comparison_as_dict,
     render_comparison,
     render_timeline,
     summarize_trace,
+    summary_as_dict,
     timeline_rows,
 )
 from repro.obs.tracer import (
@@ -52,6 +54,7 @@ __all__ = [
     "Tracer",
     "TraceSummary",
     "compare_traces",
+    "comparison_as_dict",
     "cpu_seconds",
     "current_rss_mb",
     "load_trace",
@@ -60,6 +63,7 @@ __all__ = [
     "render_comparison",
     "render_timeline",
     "summarize_trace",
+    "summary_as_dict",
     "timeline_rows",
     "trace_filename",
     "write_trace",

@@ -1,0 +1,284 @@
+"""Reference curves and the comm-volume regression gate.
+
+The paper's headline guarantees are *communication* statements — every node
+sends O(log n) bits per round, so ``max_edge_bits`` should track
+``c · log2 n`` and per-node volume should stay poly-logarithmic.  This
+module turns those shapes into checkable artifacts:
+
+* :data:`REFERENCE_CURVES` — named growth shapes ``f(n)`` (const, log n,
+  log² n, √n, n, n·log n) that measured sweeps are fitted against;
+* :func:`fit_curve` / :func:`best_fit` — one-parameter least squares
+  ``y ≈ c · f(n)`` with a scale-free residual, so "which shape does this
+  sweep follow?" is a computation, not a judgement call;
+* :func:`build_comm_baseline` — reduce a suite aggregate to its committed
+  comm baseline (``BENCH_comm.json``, schema ``repro-comm/1``): per scenario
+  the measured means plus the ``c`` coefficients against ``log2 n``;
+* :func:`compare_comm` — the gate.  Comm quantities are byte-deterministic
+  (unlike timing/RSS), so a coefficient exceeding the committed ``c`` by
+  more than the budget is a ``"fail"`` finding; sweep shapes that fit a
+  super-logarithmic curve better than ``log n`` are ``"warn"`` findings
+  (shape detection on short sweeps is suggestive, not proof).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.experiments.compare import Finding
+
+#: Schema identifier of the committed comm baseline artifact.
+COMM_SCHEMA = "repro-comm/1"
+
+#: Conventional filename of the committed comm baseline.
+COMM_FILENAME = "BENCH_comm.json"
+
+
+def _log2(n: float) -> float:
+    return math.log2(max(2.0, float(n)))
+
+
+#: Named reference shapes, ordered simplest-growth first — ties in
+#: :func:`best_fit` resolve toward the slower-growing curve.
+REFERENCE_CURVES: Dict[str, Callable[[float], float]] = {
+    "const": lambda n: 1.0,
+    "loglog_n": lambda n: math.log2(max(2.0, _log2(n))),
+    "log_n": _log2,
+    "log2_n": lambda n: _log2(n) ** 2,
+    "sqrt_n": lambda n: math.sqrt(max(1.0, float(n))),
+    "n": lambda n: max(1.0, float(n)),
+    "n_log_n": lambda n: max(1.0, float(n)) * _log2(n),
+}
+
+#: Curves growing faster than the paper's per-round bandwidth target.
+SUPER_LOGARITHMIC = ("sqrt_n", "n", "n_log_n")
+
+
+@dataclass(frozen=True)
+class CurveFit:
+    """One least-squares fit ``y ≈ coefficient · curve(n)`` over a sweep."""
+
+    curve: str
+    coefficient: float
+    #: RMS residual divided by the mean |y| — scale-free, comparable
+    #: across metrics; 0.0 is an exact fit.
+    rel_rms: float
+    points: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "curve": self.curve,
+            "coefficient": round(self.coefficient, 6),
+            "rel_rms": round(self.rel_rms, 6),
+            "points": self.points,
+        }
+
+
+def fit_curve(points: Sequence[Tuple[float, float]], curve: str) -> CurveFit:
+    """Least-squares fit of ``y ≈ c · f(n)`` over ``(n, y)`` points."""
+    try:
+        f = REFERENCE_CURVES[curve]
+    except KeyError:
+        raise ValueError(
+            f"unknown reference curve: {curve!r} "
+            f"(expected one of {sorted(REFERENCE_CURVES)})"
+        ) from None
+    if not points:
+        raise ValueError("cannot fit a curve to zero points")
+    xs = [f(n) for n, _ in points]
+    ys = [float(y) for _, y in points]
+    denom = sum(x * x for x in xs)
+    coeff = (sum(x * y for x, y in zip(xs, ys)) / denom) if denom else 0.0
+    mean_abs = sum(abs(y) for y in ys) / len(ys)
+    rms = math.sqrt(
+        sum((y - coeff * x) ** 2 for x, y in zip(xs, ys)) / len(ys)
+    )
+    rel = (rms / mean_abs) if mean_abs else 0.0
+    return CurveFit(curve=curve, coefficient=coeff, rel_rms=rel,
+                    points=len(points))
+
+
+def best_fit(points: Sequence[Tuple[float, float]]) -> CurveFit:
+    """The reference curve with the smallest relative residual on a sweep.
+
+    Ties resolve toward the earlier (slower-growing) curve in
+    :data:`REFERENCE_CURVES`, so a constant sweep reports ``const``, not an
+    equally-zero-residual ``n_log_n``.
+    """
+    fits = [fit_curve(points, name) for name in REFERENCE_CURVES]
+    return min(fits, key=lambda fit: fit.rel_rms)
+
+
+# ------------------------------------------------------------------ baseline
+
+#: The per-scenario metrics the baseline records coefficients for, in the
+#: order they are checked.  All are per-``log2 n`` — the paper's bandwidth
+#: unit.
+_GATED_METRICS = ("max_edge_bits", "bits_per_node")
+
+
+def _metric_mean(entry: Mapping[str, object], metric: str) -> Optional[float]:
+    stats = entry.get("metrics", {}).get(metric)
+    if not isinstance(stats, Mapping) or "mean" not in stats:
+        return None
+    return float(stats["mean"])
+
+
+def build_comm_baseline(summary: Mapping[str, object]) -> Dict[str, object]:
+    """Reduce a suite aggregate to the committed comm baseline.
+
+    Per scenario: the graph size, the measured means of the gated comm
+    metrics, and their coefficients against ``log2 n``.  Scenarios whose
+    aggregate lacks the comm columns (non-coloring solvers without ``n``,
+    legacy snapshots) are skipped rather than invented.
+    """
+    scenarios: Dict[str, object] = {}
+    for name, entry in sorted(summary.get("scenarios", {}).items()):
+        n = _metric_mean(entry, "n")
+        if n is None:
+            continue
+        record: Dict[str, object] = {
+            "family": entry.get("family"),
+            "solver": entry.get("solver"),
+            "n": n,
+        }
+        gated = False
+        for metric in _GATED_METRICS:
+            mean = _metric_mean(entry, metric)
+            if mean is None:
+                continue
+            gated = True
+            record[metric] = mean
+            record[f"log_coeff_{metric}"] = round(mean / _log2(n), 6)
+        if gated:
+            scenarios[name] = record
+    return {
+        "schema": COMM_SCHEMA,
+        "suite": summary.get("suite"),
+        "reference": "log_n",
+        "scenarios": scenarios,
+    }
+
+
+def load_comm_baseline(payload: Mapping[str, object]) -> Mapping[str, object]:
+    """Validate a parsed comm baseline's schema (callers do the file I/O)."""
+    if payload.get("schema") != COMM_SCHEMA:
+        raise ValueError(
+            f"unsupported comm baseline schema {payload.get('schema')!r} "
+            f"(expected {COMM_SCHEMA!r})"
+        )
+    return payload
+
+
+# ---------------------------------------------------------------------- gate
+
+def _sweep_findings(summary: Mapping[str, object]) -> List[Finding]:
+    """Shape-check (family, solver) sweeps with >= 2 distinct sizes."""
+    sweeps: Dict[Tuple[str, str], List[Tuple[float, float]]] = {}
+    for entry in summary.get("scenarios", {}).values():
+        n = _metric_mean(entry, "n")
+        y = _metric_mean(entry, "max_edge_bits")
+        if n is None or y is None:
+            continue
+        key = (str(entry.get("family")), str(entry.get("solver")))
+        sweeps.setdefault(key, []).append((n, y))
+    findings: List[Finding] = []
+    for (family, solver), points in sorted(sweeps.items()):
+        if len({n for n, _ in points}) < 2:
+            continue
+        fit = best_fit(sorted(points))
+        detail = (
+            f"{family}/{solver} sweep ({fit.points} sizes): max_edge_bits "
+            f"best fits {fit.coefficient:.3g}*{fit.curve} "
+            f"(rel rms {fit.rel_rms:.3g})"
+        )
+        if fit.curve in SUPER_LOGARITHMIC:
+            findings.append(Finding(
+                "warn", f"{family}/{solver}", "max_edge_bits",
+                f"super-logarithmic bandwidth shape: {detail}",
+            ))
+        else:
+            findings.append(Finding(
+                "info", f"{family}/{solver}", "max_edge_bits", detail,
+            ))
+    return findings
+
+
+def compare_comm(
+    baseline: Mapping[str, object],
+    fresh: Mapping[str, object],
+    budget: float = 0.10,
+) -> List[Finding]:
+    """Gate a fresh suite aggregate against the committed comm baseline.
+
+    ``baseline`` is a parsed ``BENCH_comm.json`` (see
+    :func:`build_comm_baseline`); ``fresh`` is a suite aggregate snapshot.
+    Comm volumes are byte-deterministic, so a per-``log2 n`` coefficient
+    exceeding the committed one by more than ``budget`` (a fraction; 0.10 =
+    10%) is a ``"fail"`` finding.  Improvements and set differences are
+    informational, and each measured sweep additionally gets a
+    reference-curve shape finding (``"warn"`` when the best fit grows
+    faster than ``log n``).
+    """
+    findings: List[Finding] = []
+    try:
+        load_comm_baseline(baseline)
+    except ValueError as exc:
+        return [Finding("fail", "-", "schema", str(exc))]
+    if baseline.get("suite") != fresh.get("suite"):
+        return [Finding(
+            "fail", "-", "suite",
+            f"suite mismatch: comm baseline is for "
+            f"{baseline.get('suite')!r}, fresh run is {fresh.get('suite')!r}",
+        )]
+    base_scenarios: Mapping[str, Mapping] = baseline.get("scenarios", {})
+    fresh_scenarios: Mapping[str, Mapping] = fresh.get("scenarios", {})
+    for name in sorted(set(base_scenarios) - set(fresh_scenarios)):
+        findings.append(Finding(
+            "info", name, "-", "scenario missing from fresh run "
+            "(the correctness gate reports this as a failure)",
+        ))
+    for name in sorted(set(fresh_scenarios) - set(base_scenarios)):
+        findings.append(Finding(
+            "info", name, "-",
+            f"scenario not in the comm baseline (refresh {COMM_FILENAME})",
+        ))
+    for name in sorted(set(base_scenarios) & set(fresh_scenarios)):
+        base = base_scenarios[name]
+        entry = fresh_scenarios[name]
+        n = _metric_mean(entry, "n")
+        if n is None:
+            findings.append(Finding(
+                "info", name, "n", "fresh aggregate has no n column; "
+                "comm coefficients not checked",
+            ))
+            continue
+        for metric in _GATED_METRICS:
+            key = f"log_coeff_{metric}"
+            if key not in base:
+                continue
+            mean = _metric_mean(entry, metric)
+            if mean is None:
+                findings.append(Finding(
+                    "fail", name, metric,
+                    f"comm column missing from fresh aggregate (baseline "
+                    f"records {key}={base[key]})",
+                ))
+                continue
+            old = float(base[key])
+            # Same rounding as build_comm_baseline, so an unchanged run
+            # compares exactly equal to its own baseline.
+            new = round(mean / _log2(n), 6)
+            detail = (
+                f"{metric}/log2(n): {old:g} -> {new:.6g} vs c*log n "
+                f"reference (budget +{budget:.0%})"
+            )
+            if old > 0 and new > old * (1.0 + budget):
+                findings.append(Finding(
+                    "fail", name, metric, f"comm regression: {detail}",
+                ))
+            elif new != old:
+                findings.append(Finding("info", name, metric, detail))
+    findings.extend(_sweep_findings(fresh))
+    return findings

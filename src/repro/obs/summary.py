@@ -100,6 +100,54 @@ def summarize_trace(events: Sequence[Mapping[str, object]]) -> TraceSummary:
     return summary
 
 
+def summary_as_dict(summary: TraceSummary) -> Dict[str, object]:
+    """Machine-readable form of a summary (the ``--json`` output shape).
+
+    Plain JSON-serializable values only; phase order is preserved (first
+    appearance), everything else is stable across machines — wall-clock
+    fields are included but rounded, and no environment state leaks in.
+    """
+    return {
+        "trials": summary.trials,
+        "rounds": summary.rounds,
+        "messages": summary.messages,
+        "bits": summary.bits,
+        "max_edge_bits": summary.max_edge_bits,
+        "wall_s": round(summary.wall_s, 6),
+        "samples": summary.samples,
+        "peak_rss_mb": summary.peak_rss_mb,
+        "phases": [
+            {
+                "phase": totals.phase,
+                "rounds": totals.rounds,
+                "messages": totals.messages,
+                "bits": totals.bits,
+                "max_edge_bits": totals.max_edge_bits,
+                "wall_s": round(totals.wall_s, 6),
+            }
+            for totals in summary.phases
+        ],
+    }
+
+
+def comparison_as_dict(events_a: Sequence[Mapping[str, object]],
+                       events_b: Sequence[Mapping[str, object]],
+                       name_a: str = "a",
+                       name_b: str = "b") -> Dict[str, object]:
+    """Machine-readable trace comparison (the ``compare --json`` shape)."""
+    drifts = compare_traces(events_a, events_b)
+    return {
+        "names": [name_a, name_b],
+        "a": summary_as_dict(summarize_trace(events_a)),
+        "b": summary_as_dict(summarize_trace(events_b)),
+        "drift": [
+            {"phase": d.phase, "column": d.column, "a": d.a, "b": d.b}
+            for d in drifts
+        ],
+        "identical": not drifts,
+    }
+
+
 def timeline_rows(summary: TraceSummary) -> List[Dict[str, object]]:
     """Printable per-phase rows of one summary (plus a totals row)."""
     rows: List[Dict[str, object]] = []

@@ -62,8 +62,14 @@ class Tracer:
     def note_nodes(self, active: int, owned: int) -> None:
         """Driver hook: node counts as of the round about to execute."""
 
-    def note_shards(self, shard_stats: Sequence[ShardStats]) -> None:
-        """Coordinator hook: per-shard deltas of the round about to merge."""
+    def note_shards(self, shard_stats: Sequence[ShardStats],
+                    cut_messages: int = 0) -> None:
+        """Coordinator hook: per-shard deltas of the round about to merge.
+
+        ``cut_messages`` counts the messages that crossed a shard boundary
+        this round (the cut traffic the coordinator relayed) — the basis for
+        the analytics layer's cut-traffic fraction.
+        """
 
     def close(self) -> None:
         """Stop observing and finalize (idempotent)."""
@@ -106,8 +112,10 @@ class RoundTracer(Tracer):
       ``max_edge_bits``, ``wall_s`` (time since the previous round event —
       i.e. including the compute that produced the round); optionally
       ``active``/``owned`` (when a driver reported them), ``shards`` (per
-      -shard ``[messages, bits, max_edge_bits]`` triples) and ``faults``
-      (nonzero fault-counter deltas since the previous round).
+      -shard ``[messages, bits, max_edge_bits]`` triples, with
+      ``cut_messages`` counting the shard-boundary traffic the coordinator
+      relayed) and ``faults`` (nonzero fault-counter deltas since the
+      previous round).
     * ``sample`` — ``round``, ``wall_s`` since attach, ``rss_mb``, ``cpu_s``.
     * ``end`` — final ledger aggregates, total ``wall_s``, final resource
       sample, and final fault counters when a fault plan ran.
@@ -131,6 +139,7 @@ class RoundTracer(Tracer):
         self._last_sample_ts: Optional[float] = None
         self._nodes: Optional[Tuple[int, int]] = None
         self._shard_stats: Optional[List[ShardStats]] = None
+        self._cut_messages = 0
         self._fault_prev: Optional[Dict[str, int]] = None
         self._closed = False
 
@@ -206,8 +215,10 @@ class RoundTracer(Tracer):
     def note_nodes(self, active: int, owned: int) -> None:
         self._nodes = (int(active), int(owned))
 
-    def note_shards(self, shard_stats: Sequence[ShardStats]) -> None:
+    def note_shards(self, shard_stats: Sequence[ShardStats],
+                    cut_messages: int = 0) -> None:
         self._shard_stats = [tuple(stats) for stats in shard_stats]
+        self._cut_messages = int(cut_messages)
 
     # ---------------------------------------------------------- round events
     def _on_round(self, index: int, label: str, message_count: int,
@@ -227,7 +238,9 @@ class RoundTracer(Tracer):
             event["active"], event["owned"] = self._nodes
         if self._shard_stats is not None:
             event["shards"] = [list(stats) for stats in self._shard_stats]
+            event["cut_messages"] = self._cut_messages
             self._shard_stats = None
+            self._cut_messages = 0
         if self._fault_prev is not None:
             current = self._network.transport.fault_stats.as_dict()
             deltas = {

@@ -406,10 +406,17 @@ class ShardedSimulator:
                     active[i] = msg[1]
                 if tracer.enabled:
                     # Observation only: per-shard deltas of the round just
-                    # merged, and the summed post-round active count.  Set
-                    # before record_round so the observer sees them on this
-                    # round's event.
-                    tracer.note_shards([msg[2] for msg in first])
+                    # merged, the shard-boundary message count the
+                    # coordinator relayed, and the summed post-round active
+                    # count.  Set before record_round so the observer sees
+                    # them on this round's event.
+                    cut_messages = sum(
+                        len(batch)
+                        for batches in incoming
+                        for batch in batches.values()
+                    )
+                    tracer.note_shards([msg[2] for msg in first],
+                                       cut_messages=cut_messages)
                     tracer.note_nodes(sum(active),
                                       self.network.number_of_nodes)
                 self.network.ledger.record_round(

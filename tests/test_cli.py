@@ -301,3 +301,141 @@ class TestTraceCommands:
 
         with _pytest.raises(SystemExit):
             build_parser().parse_args(["trace"])
+
+
+class TestAnalyticsCli:
+    """The PR's analytics surface: --json trace output, the comm gate,
+    the run-history registry, and `repro report`."""
+
+    def _run_smoke(self, tmp_path, trace=False, only=("gnp-d1c",)):
+        out = tmp_path / "run"
+        argv = ["suite", "run", "smoke", "--trials", "1", "--out", str(out)]
+        for name in only:
+            argv.extend(["--only", name])
+        if trace:
+            argv.extend(["--trace", str(out)])
+        assert main(argv) == 0
+        return out
+
+    def test_suite_run_appends_run_history(self, capsys, tmp_path):
+        import json
+
+        out = self._run_smoke(tmp_path)
+        runs_path = out / "RUNS.jsonl"
+        assert runs_path.exists()
+        record = json.loads(runs_path.read_text().splitlines()[0])
+        assert record["schema"] == "repro-runs/1"
+        assert record["suite"] == "smoke"
+        assert len(record["digest"]) == 64
+        assert record["env"]["python"]
+        # A second run appends, never truncates.
+        self._run_smoke(tmp_path)
+        assert len(runs_path.read_text().splitlines()) == 2
+
+    def test_trace_summarize_json_is_sorted_and_stable(self, capsys, tmp_path):
+        import json
+
+        out = self._run_smoke(tmp_path, trace=True)
+        trace = out / "TRACE_gnp-d1c.jsonl"
+        capsys.readouterr()
+        assert main(["trace", "summarize", "--json", str(trace)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert list(payload) == ["TRACE_gnp-d1c.jsonl"]
+        summary = payload["TRACE_gnp-d1c.jsonl"]
+        assert summary["rounds"] > 0
+        assert json.dumps(summary, sort_keys=True) == json.dumps(summary)
+
+    def test_trace_compare_json_exit_semantics(self, capsys, tmp_path):
+        import json
+
+        out = self._run_smoke(tmp_path, trace=True)
+        trace = out / "TRACE_gnp-d1c.jsonl"
+        capsys.readouterr()
+        assert main(["trace", "compare", "--json", str(trace), str(trace)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["identical"] is True and payload["drift"] == []
+        # Drifted pair: exit 1 and the drift rows name the column.
+        drifted = tmp_path / "drifted.jsonl"
+        lines = trace.read_text().splitlines()
+        for i, line in enumerate(lines):
+            event = json.loads(line)
+            if event["type"] == "round":
+                event["bits"] += 8
+                lines[i] = json.dumps(event, sort_keys=True)
+                break
+        drifted.write_text("\n".join(lines) + "\n")
+        assert main(["trace", "compare", "--json", str(trace),
+                     str(drifted)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["identical"] is False
+        assert any(d["column"] == "bits" for d in payload["drift"])
+
+    def test_suite_compare_comm_budget_gates(self, capsys, tmp_path):
+        import json
+
+        from repro.experiments import canonical_dumps
+        from repro.obs.analytics import build_comm_baseline
+
+        out = self._run_smoke(tmp_path)
+        suite_path = out / "BENCH_suite.json"
+        comm_path = tmp_path / "BENCH_comm.json"
+        comm_path.write_text(canonical_dumps(
+            build_comm_baseline(json.loads(suite_path.read_text()))
+        ))
+        capsys.readouterr()
+        assert main(["suite", "compare", "--baseline", str(suite_path),
+                     "--fresh", str(suite_path), "--comm-budget", "10",
+                     "--comm-baseline", str(comm_path)]) == 0
+        out_text = capsys.readouterr().out
+        assert "PASS" in out_text
+
+    def test_suite_compare_missing_comm_baseline_fails(self, capsys, tmp_path):
+        out = self._run_smoke(tmp_path)
+        suite_path = out / "BENCH_suite.json"
+        capsys.readouterr()
+        assert main(["suite", "compare", "--baseline", str(suite_path),
+                     "--fresh", str(suite_path), "--comm-budget", "10",
+                     "--comm-baseline", str(tmp_path / "missing.json")]) == 1
+        out_text = capsys.readouterr().out
+        assert "comm_baseline" in out_text and "FAIL" in out_text
+
+    def test_report_suite_renders_and_writes_html(self, capsys, tmp_path):
+        out = self._run_smoke(tmp_path, trace=True)
+        capsys.readouterr()
+        assert main(["report", "smoke", "--dir", str(out)]) == 0
+        out_text = capsys.readouterr().out
+        assert "report: smoke" in out_text
+        assert "phase timeline: gnp-d1c" in out_text
+        html_path = out / "REPORT_smoke.html"
+        assert html_path.exists()
+        html = html_path.read_text()
+        assert html.startswith("<!doctype html>")
+        assert "<svg" in html and "gnp-d1c" in html
+
+    def test_report_scenario_narrows_to_one(self, capsys, tmp_path):
+        out = self._run_smoke(tmp_path, trace=True,
+                              only=("gnp-d1c", "powerlaw-d1lc"))
+        capsys.readouterr()
+        assert main(["report", "gnp-d1c", "--dir", str(out),
+                     "--html", str(tmp_path / "one.html")]) == 0
+        out_text = capsys.readouterr().out
+        assert "gnp-d1c" in out_text
+        assert "phase timeline: powerlaw-d1lc" not in out_text
+        assert (tmp_path / "one.html").exists()
+
+    def test_report_nothing_found_exits_2(self, capsys, tmp_path):
+        assert main(["report", "nope", "--dir", str(tmp_path)]) == 2
+        assert "nothing to report" in capsys.readouterr().out
+
+    def test_report_trend_table_and_gate(self, capsys, tmp_path):
+        out = self._run_smoke(tmp_path)
+        self._run_smoke(tmp_path)
+        capsys.readouterr()
+        assert main(["report", "trend", "--dir", str(out)]) == 0
+        out_text = capsys.readouterr().out
+        assert "run history (2 runs)" in out_text
+        assert "smoke" in out_text
+
+    def test_report_trend_empty_history(self, capsys, tmp_path):
+        assert main(["report", "trend", "--dir", str(tmp_path)]) == 0
+        assert "no run history" in capsys.readouterr().out

@@ -407,6 +407,71 @@ class TestSampler:
         assert peak_rss_mb() >= current_rss_mb() * 0.5  # same order of magnitude
         assert cpu_seconds() >= 0
 
+    def test_current_rss_falls_back_without_procfs(self, monkeypatch):
+        """No /proc/self/statm (macOS, locked-down containers) -> lifetime peak."""
+        import builtins
+
+        real_open = builtins.open
+
+        def no_procfs(path, *args, **kwargs):
+            if path == "/proc/self/statm":
+                raise OSError("no procfs here")
+            return real_open(path, *args, **kwargs)
+
+        monkeypatch.setattr(builtins, "open", no_procfs)
+        assert current_rss_mb() == peak_rss_mb()
+
+    def test_current_rss_falls_back_on_garbage_statm(self, monkeypatch):
+        import builtins
+
+        real_open = builtins.open
+
+        def garbage_statm(path, *args, **kwargs):
+            if path == "/proc/self/statm":
+                return io.StringIO("short")  # one field -> IndexError
+            return real_open(path, *args, **kwargs)
+
+        monkeypatch.setattr(builtins, "open", garbage_statm)
+        assert current_rss_mb() == peak_rss_mb()
+
+
+class TestSummarizeEdgeCases:
+    def test_unlabeled_rounds_fold_into_empty_phase(self):
+        # The simulator itself backfills empty labels with the program name,
+        # so unlabeled rounds only occur in hand-written or foreign traces —
+        # summarize_trace must still fold them into the "" phase.
+        events = [
+            {"type": "round", "round": 1, "label": "", "messages": 2,
+             "bits": 4, "max_edge_bits": 2, "wall_s": 0.01},
+            {"type": "round", "round": 2, "messages": 3, "bits": 6,
+             "max_edge_bits": 2, "wall_s": 0.01},  # no label key at all
+        ]
+        summary = summarize_trace(events)
+        assert [t.phase for t in summary.phases] == [""]
+        assert summary.phase("").rounds == summary.rounds == 2
+        assert summary.bits == 10
+        # The printable timeline shows "-" instead of an invisible phase.
+        from repro.obs import timeline_rows
+
+        assert timeline_rows(summary)[0]["phase"] == "-"
+
+    def test_empty_trace_summarizes_to_zeroes(self):
+        summary = summarize_trace([])
+        assert summary.rounds == 0 and summary.phases == []
+        assert render_timeline(summary)  # renders (totals row), no crash
+
+    def test_header_and_samples_only(self):
+        events = [
+            {"type": "header", "trial": 0, "scenario": "x"},
+            {"type": "sample", "rss_mb": 12.5, "cpu_s": 0.1},
+            {"type": "end", "rss_mb": 14.0},
+        ]
+        summary = summarize_trace(events)
+        assert summary.trials == 1
+        assert summary.samples == 1
+        assert summary.peak_rss_mb == 14.0
+        assert summary.rounds == 0
+
 
 # --------------------------------------------------------------------------- #
 # Runner integration: TRACE_* artifacts next to suite outputs
