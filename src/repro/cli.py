@@ -16,6 +16,8 @@ be run without writing Python::
     python -m repro.cli suite run robustness --workers 4
     python -m repro.cli suite run smoke --seed 7 --out /tmp/reseeded
     python -m repro.cli suite run smoke --trace /tmp/traces --progress
+    python -m repro.cli suite run smoke --digest /tmp/digests
+    python -m repro.cli diff /tmp/a/DIGEST_gnp-d1c.jsonl /tmp/b/DIGEST_gnp-d1c.jsonl --bisect
     python -m repro.cli trace summarize TRACE_powerlaw-d1lc.jsonl
     python -m repro.cli trace compare /tmp/a/TRACE_gnp-d1c.jsonl /tmp/b/TRACE_gnp-d1c.jsonl
     python -m repro.cli suite compare --baseline BENCH_suite.json
@@ -251,6 +253,7 @@ def cmd_suite_run(args: argparse.Namespace) -> int:
     out_dir = Path(args.out)
     profile_dir = out_dir if args.profile else None
     trace_dir = Path(args.trace) if args.trace else None
+    digest_dir = Path(args.digest) if args.digest else None
     if args.profile and args.workers > 1:
         print("profiling forces serial execution; ignoring --workers")
     faults = _parse_faults(args.faults) if args.faults else None
@@ -260,6 +263,7 @@ def cmd_suite_run(args: argparse.Namespace) -> int:
         progress=progress if (args.verbose or args.progress) else None,
         only=args.only, profile_dir=profile_dir, seed=args.seed,
         faults=faults, shards=args.shards, trace_dir=trace_dir,
+        digest_dir=digest_dir,
     )
     summary = aggregate_suite(result)
     timing = timing_summary(result)
@@ -289,6 +293,7 @@ def cmd_suite_run(args: argparse.Namespace) -> int:
             "workers": args.workers, "trials": args.trials,
             "only": args.only, "faults": args.faults,
         },
+        digest_dir=digest_dir,
     ))
     if trace_dir is not None:
         from repro.obs import trace_filename
@@ -298,6 +303,14 @@ def cmd_suite_run(args: argparse.Namespace) -> int:
             for s in result.scenarios
         )
         print(f"traces: {traces}")
+    if digest_dir is not None:
+        from repro.obs.forensics import digest_filename
+
+        streams = ", ".join(
+            str(digest_dir / digest_filename(s.spec.name))
+            for s in result.scenarios
+        )
+        print(f"digests: {streams}")
     if args.profile:
         print("profiled run: timing artifact not refreshed "
               "(wall-clock includes profiler overhead)")
@@ -479,6 +492,45 @@ def cmd_trace_compare(args: argparse.Namespace) -> int:
     print(render_comparison(events_a, events_b, name_a=name_a, name_b=name_b))
     # diff semantics: exit 1 when the deterministic columns drifted.
     return 1 if compare_traces(events_a, events_b) else 0
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    """Align two DIGEST_*.jsonl streams; optionally bisect to the first node.
+
+    Exit code mirrors ``trace compare``: 0 when the streams are identical,
+    1 when they diverge, 2 on unreadable inputs.
+    """
+    import json
+
+    from repro.obs.forensics import (
+        bisect_divergence, first_divergence, load_digests, render_bisect,
+        render_divergence,
+    )
+
+    try:
+        events_a = load_digests(Path(args.a))
+        events_b = load_digests(Path(args.b))
+    except (OSError, ValueError) as exc:
+        print(f"repro diff: {exc}", file=sys.stderr)
+        return 2
+    divergence = first_divergence(events_a, events_b, trial=args.trial)
+    report = None
+    if args.bisect and divergence is not None:
+        report = bisect_divergence(events_a, events_b, divergence=divergence,
+                                   window=args.window)
+    if args.json:
+        payload: dict = {"identical": divergence is None}
+        if divergence is not None:
+            payload["divergence"] = divergence.as_dict()
+        if report is not None:
+            payload["bisect"] = report.as_dict()
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0 if divergence is None else 1
+    if report is not None:
+        print(render_bisect(report))
+    else:
+        print(render_divergence(divergence))
+    return 0 if divergence is None else 1
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -686,6 +738,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="emit a plain heartbeat line to stderr per "
                             "completed trial (elapsed, rounds, current RSS); "
                             "off by default, never changes artifacts")
+    s_run.add_argument("--digest", default=None, metavar="DIR",
+                       help="attach a determinism-digest tracer to every "
+                            "trial and write one DIGEST_<scenario>.jsonl "
+                            "stream per scenario into DIR; rows and the "
+                            "aggregate gain per-trial state_digest values "
+                            "(observation-only: results stay byte-identical "
+                            "to an undigested run; diff streams with "
+                            "'repro diff')")
     s_run.set_defaults(func=cmd_suite_run)
 
     s_compare = suite_sub.add_parser(
@@ -759,6 +819,29 @@ def build_parser() -> argparse.ArgumentParser:
                        help="emit both summaries plus the deterministic "
                             "drift as key-sorted JSON (same exit semantics)")
     t_cmp.set_defaults(func=cmd_trace_compare)
+
+    diff = sub.add_parser(
+        "diff",
+        help="align two DIGEST_*.jsonl streams and report the first "
+             "divergent (round, phase, shard); --bisect re-runs the window "
+             "in fine mode to name the first divergent node",
+    )
+    diff.add_argument("a", help="first DIGEST_*.jsonl stream")
+    diff.add_argument("b", help="second DIGEST_*.jsonl stream")
+    diff.add_argument("--bisect", action="store_true",
+                      help="re-run both sides over a round window with "
+                           "per-node fine digests and name the first "
+                           "divergent node and component (inbox bytes, "
+                           "liveness, or solver state)")
+    diff.add_argument("--window", type=int, default=1,
+                      help="fine-mode half-window in rounds around the "
+                           "divergent round (default 1)")
+    diff.add_argument("--trial", type=int, default=None,
+                      help="restrict the alignment to one trial index")
+    diff.add_argument("--json", action="store_true",
+                      help="emit the divergence (and bisection) as "
+                           "key-sorted JSON; exit 1 when streams diverge")
+    diff.set_defaults(func=cmd_diff)
 
     report = sub.add_parser(
         "report",

@@ -100,6 +100,13 @@ def columnar_buddy_edges(
     transport = network.transport
     if not getattr(transport, "supports_columnar_sweep", False):
         return None
+    if getattr(network.tracer, "wants_payloads", False):
+        # Digest forensics hashes the real delivered payload bytes; this
+        # sweep charges equivalent ledger records without ever materializing
+        # them, so under a payload-digesting tracer it declines and the
+        # caller takes the reference exchange path (identical digests, at
+        # the cost of the sweep speedup).
+        return None
     edges = [tuple(edge) for edge in edges]
 
     # ---------------------------------------------------------------- loop A

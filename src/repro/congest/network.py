@@ -248,7 +248,10 @@ class Network:
         BandwidthExceeded
             If any single payload exceeds the bandwidth budget (CONGEST mode).
         """
-        return self.transport.exchange(messages, label=label)
+        delivered = self.transport.exchange(messages, label=label)
+        if self.tracer.wants_payloads:
+            self.tracer.note_exchange(delivered)
+        return delivered
 
     def broadcast(
         self,
@@ -264,9 +267,12 @@ class Network:
         Inboxes are read-only views (empty ones are shared); copy before
         mutating.
         """
-        return self.transport.broadcast(
+        inboxes = self.transport.broadcast(
             values, label=label, senders_only_to=senders_only_to
         )
+        if self.tracer.wants_payloads:
+            self.tracer.note_inboxes(inboxes)
+        return inboxes
 
     def broadcast_discard(
         self,
@@ -279,6 +285,8 @@ class Network:
         can skip inbox materialisation (columnar) do so here.
         """
         self.transport.broadcast_discard(values, label=label)
+        if self.tracer.wants_payloads:
+            self.tracer.note_values(values)
 
     def exchange_chunked(
         self,
@@ -299,7 +307,10 @@ class Network:
         ``O(log n)`` bits, i.e. a constant number of rounds, but the constant
         depends on ``ε`` — the simulator makes that cost explicit.
         """
-        return self.transport.exchange_chunked(messages, label=label)
+        delivered = self.transport.exchange_chunked(messages, label=label)
+        if self.tracer.wants_payloads:
+            self.tracer.note_exchange(delivered)
+        return delivered
 
     def broadcast_chunked(
         self,
@@ -307,7 +318,10 @@ class Network:
         label: str = "broadcast-chunked",
     ) -> Dict[Node, Mapping[Node, Any]]:
         """Chunked variant of :meth:`broadcast` for payloads above the budget."""
-        return self.transport.broadcast_chunked(values, label=label)
+        inboxes = self.transport.broadcast_chunked(values, label=label)
+        if self.tracer.wants_payloads:
+            self.tracer.note_inboxes(inboxes)
+        return inboxes
 
     def charge_silent_round(self, label: str = "silent") -> None:
         """Advance the round counter without sending anything.

@@ -252,7 +252,34 @@ class Simulator:
             if state is not None and not state.halted:
                 inbox_list[i][sender] = payload
         self._round_index += 1
+        if tracer.wants_state:
+            # Observation only: hash the post-step solver-visible state of
+            # every owned node (halted ones included — their frozen state is
+            # part of the global picture a digest must cover).
+            tracer.note_state(self.state_digest_items())
         return bool(self._active)
+
+    def state_digest_items(self):
+        """Yield ``(node, entry_hash, halted)`` for every owned node.
+
+        The forensics state-digest hook: entry hashes cover the canonical
+        encoding of each node's full solver-visible surface — ``halted``,
+        ``output`` and ``memory`` (RNG-derived fields included).  Pure
+        reader; consumes no randomness.
+        """
+        from repro.obs.forensics.digest import node_state_entry
+
+        nodes = self._nodes
+        state_list = self._state_list
+        for i in self._owned:
+            state = state_list[i]
+            yield (nodes[i], node_state_entry(nodes[i], state), state.halted)
+
+    def state_digest(self):
+        """Multiset digest ``(value, count)`` of all owned nodes' state."""
+        from repro.obs.forensics.digest import states_digest
+
+        return states_digest(self.states)
 
     def finish_outputs(self) -> Dict[Node, Any]:
         """Collect ``program.finish`` for every owned node, in slot order.

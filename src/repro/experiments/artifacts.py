@@ -50,8 +50,19 @@ def aggregate_suite(result: SuiteResult) -> Dict[str, object]:
     compare`` can refuse to diff runs of genuinely different workloads.
     Fault-free, non-overridden runs keep the historical schema byte for
     byte.
+
+    A digest-enabled run (``--digest``) additionally records each scenario's
+    per-trial chained ``state_digest`` list and a top-level ``"digests"``
+    marker — both fully deterministic, but *present only on digested runs*,
+    so ``suite compare`` refuses to gate a digested aggregate against an
+    undigested baseline (and vice versa) rather than silently ignoring the
+    strongest determinism signal available.
     """
     scenarios: Dict[str, object] = {}
+    digested = all(
+        all("state_digest" in row for row in scenario.rows)
+        for scenario in result.scenarios
+    ) and bool(result.scenarios)
     for scenario in result.scenarios:
         spec = scenario.spec
         entry: Dict[str, object] = {
@@ -62,6 +73,9 @@ def aggregate_suite(result: SuiteResult) -> Dict[str, object]:
             "valid_trials": scenario.valid_trials,
             "metrics": aggregate_rows(scenario.rows, exclude=NON_METRIC_KEYS),
         }
+        if digested:
+            entry["state_digest"] = [row["state_digest"]
+                                     for row in scenario.rows]
         if spec.tags:
             entry["tags"] = sorted(spec.tags)
         if spec.faults:
@@ -77,6 +91,8 @@ def aggregate_suite(result: SuiteResult) -> Dict[str, object]:
     summary: Dict[str, object] = {
         "schema": SCHEMA, "suite": result.suite, "scenarios": scenarios,
     }
+    if digested:
+        summary["digests"] = True
     seed_override = getattr(result, "seed_override", None)
     if seed_override is not None:
         summary["seed_override"] = seed_override

@@ -79,6 +79,17 @@ def compare_summaries(
             "different workloads; re-run with the baseline's --seed",
         ))
         return findings
+    if bool(baseline.get("digests")) != bool(fresh.get("digests")):
+        missing, present = (("baseline", "fresh")
+                            if fresh.get("digests") else ("fresh", "baseline"))
+        findings.append(Finding(
+            "fail", "-", "digests",
+            f"digest mismatch: the {present} run recorded state digests but "
+            f"the {missing} one did not — a digested aggregate cannot gate "
+            "against an undigested one; re-run both with (or both without) "
+            "--digest, or refresh the committed baseline",
+        ))
+        return findings
 
     base_scenarios: Mapping[str, Mapping] = baseline.get("scenarios", {})
     fresh_scenarios: Mapping[str, Mapping] = fresh.get("scenarios", {})
@@ -124,6 +135,19 @@ def _compare_scenario(
         findings.append(Finding(
             "fail", name, "valid_trials",
             f"correctness drift: {base_valid} -> {fresh_valid} valid trials",
+        ))
+    base_digests = base.get("state_digest")
+    fresh_digests = fresh.get("state_digest")
+    if base_digests is not None and fresh_digests is not None \
+            and base_digests != fresh_digests:
+        drifted_trials = [str(i) for i, (a, b)
+                          in enumerate(zip(base_digests, fresh_digests))
+                          if a != b]
+        findings.append(Finding(
+            "fail", name, "state_digest",
+            f"state digest drift in trial(s) {', '.join(drifted_trials) or '-'}"
+            " — the runs diverged somewhere; localize it with "
+            "`repro diff <baseline DIGEST stream> <fresh DIGEST stream>`",
         ))
 
     base_metrics: Mapping[str, Mapping] = base.get("metrics", {})

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import contextlib
 import cProfile
+import functools
 import io
 import os
 import pstats
@@ -36,7 +37,7 @@ from repro.obs.tracer import RoundTracer
 #: (identity).
 NON_METRIC_KEYS = (
     "scenario", "family", "solver", "trial", "graph_seed", "solver_seed", "wall_s",
-    "peak_rss_mb",
+    "peak_rss_mb", "state_digest",
 )
 
 
@@ -135,24 +136,66 @@ def run_trial(spec: ScenarioSpec, trial: int,
     return row
 
 
-def run_traced_trial(spec: ScenarioSpec, trial: int):
-    """Execute one traced trial; return ``(row, trace_events)``.
+def run_instrumented_trial(spec: ScenarioSpec, trial: int,
+                           trace: bool = False, digest: bool = False,
+                           fine_rounds=None):
+    """Execute one trial with tracing and/or digesting attached.
 
-    The events are plain JSON-serializable dicts, so the pair crosses the
-    process-pool boundary like any other result and the parent can write
-    per-scenario ``TRACE_*.jsonl`` artifacts in deterministic trial order.
+    Returns ``(row, trace_events, digest_events)`` where the event lists are
+    ``None`` for instruments that were off.  When both are on they share one
+    ledger through a :class:`~repro.obs.tracer.CompositeTracer`.  All events
+    are plain JSON-serializable dicts, so the triple crosses the process-pool
+    boundary like any other result and the parent writes per-scenario
+    ``TRACE_*.jsonl`` / ``DIGEST_*.jsonl`` artifacts in deterministic trial
+    order.  A digested row additionally carries the run's final chained
+    ``state_digest`` (a non-metric key: identity, not measurement).
     """
-    tracer = RoundTracer(meta={
+    meta = {
         "scenario": spec.name,
         "trial": trial,
         "solver": spec.solver,
         "family": spec.family,
-    })
+    }
+    round_tracer = RoundTracer(meta=dict(meta)) if trace else None
+    digest_tracer = None
+    if digest:
+        from repro.obs.forensics import DigestTracer
+        from repro.obs.forensics.diff import spec_payload
+
+        # The header embeds the spec so `repro diff --bisect` can re-run the
+        # exact workload in fine mode from the stream alone.
+        digest_tracer = DigestTracer(
+            meta={**meta, "spec": spec_payload(spec)}, fine_rounds=fine_rounds,
+        )
+    tracers = [t for t in (round_tracer, digest_tracer) if t is not None]
+    if not tracers:
+        tracer = None
+    elif len(tracers) == 1:
+        tracer = tracers[0]
+    else:
+        from repro.obs.tracer import CompositeTracer
+
+        tracer = CompositeTracer(tracers)
     try:
         row = run_trial(spec, trial, tracer=tracer)
     finally:
-        tracer.close()
-    return row, tracer.events
+        for member in tracers:
+            member.close()
+    if digest_tracer is not None:
+        row["state_digest"] = digest_tracer.final_digest
+    return (row,
+            round_tracer.events if round_tracer is not None else None,
+            digest_tracer.events if digest_tracer is not None else None)
+
+
+def run_traced_trial(spec: ScenarioSpec, trial: int):
+    """Execute one traced trial; return ``(row, trace_events)``.
+
+    Kept as the historical two-tuple API; new instrumentation goes through
+    :func:`run_instrumented_trial`.
+    """
+    row, trace_events, _ = run_instrumented_trial(spec, trial, trace=True)
+    return row, trace_events
 
 
 @contextlib.contextmanager
@@ -188,6 +231,7 @@ def run_scenarios(
     progress=None,
     profile_dir: Optional[Path] = None,
     trace_dir: Optional[Path] = None,
+    digest_dir: Optional[Path] = None,
 ) -> SuiteResult:
     """Run every trial of every spec, serially or across worker processes.
 
@@ -205,9 +249,12 @@ def run_scenarios(
 
     ``trace_dir`` attaches a :class:`~repro.obs.tracer.RoundTracer` to every
     trial and writes one ``TRACE_<scenario>.jsonl`` per scenario into that
-    directory (all trials, in trial order).  Tracing is observation-only:
-    rows and aggregates are byte-identical to an untraced run, whatever the
-    worker count.
+    directory (all trials, in trial order).  ``digest_dir`` does the same
+    with a :class:`~repro.obs.forensics.DigestTracer` and per-scenario
+    ``DIGEST_<scenario>.jsonl`` streams (and stamps each row's
+    ``state_digest``); both may be on at once.  Instrumentation is
+    observation-only: rows and aggregates are byte-identical to an
+    uninstrumented run, whatever the worker count.
     """
     for spec in specs:
         validate_spec(spec)
@@ -216,18 +263,32 @@ def run_scenarios(
              for trial in range(spec.trials)]
     results: Dict[tuple, Dict[str, object]] = {}
     traces: Dict[tuple, List[Dict[str, object]]] = {}
+    digests: Dict[tuple, List[Dict[str, object]]] = {}
+    instrumented = trace_dir is not None or digest_dir is not None
     suite_start = time.perf_counter()
 
     def record(key, outcome) -> Dict[str, object]:
-        # One unpacking seam for all three execution paths: traced tasks
-        # return (row, events), untraced ones just the row.
-        if trace_dir is None:
+        # One unpacking seam for all three execution paths: instrumented
+        # tasks return (row, trace_events, digest_events), plain ones just
+        # the row.
+        if not instrumented:
             results[key] = outcome
         else:
-            results[key], traces[key] = outcome
+            results[key], trace_events, digest_events = outcome
+            if trace_dir is not None:
+                traces[key] = trace_events
+            if digest_dir is not None:
+                digests[key] = digest_events
         return results[key]
 
-    task = run_trial if trace_dir is None else run_traced_trial
+    if instrumented:
+        # functools.partial of a module-level function pickles under every
+        # process-pool start method.
+        task = functools.partial(run_instrumented_trial,
+                                 trace=trace_dir is not None,
+                                 digest=digest_dir is not None)
+    else:
+        task = run_trial
     if profile_dir is not None:
         profile_dir = Path(profile_dir)
         profile_dir.mkdir(parents=True, exist_ok=True)
@@ -270,6 +331,16 @@ def run_scenarios(
                       for trial in range(spec.trials)
                       for event in traces[(index, trial)]]
             write_trace(trace_dir / trace_filename(spec.name), events)
+    if digest_dir is not None:
+        from repro.obs.forensics import digest_filename, write_digests
+
+        digest_dir = Path(digest_dir)
+        digest_dir.mkdir(parents=True, exist_ok=True)
+        for index, spec in enumerate(specs):
+            events = [event
+                      for trial in range(spec.trials)
+                      for event in digests[(index, trial)]]
+            write_digests(digest_dir / digest_filename(spec.name), events)
 
     suite_result = SuiteResult(suite=suite)
     for index, spec in enumerate(specs):
@@ -294,6 +365,7 @@ def run_suite(
     faults: Optional[Mapping[str, object]] = None,
     shards: Optional[int] = None,
     trace_dir: Optional[Path] = None,
+    digest_dir: Optional[Path] = None,
 ) -> SuiteResult:
     """Resolve a named suite and run it, with optional global overrides.
 
@@ -342,6 +414,6 @@ def run_suite(
         specs = [replace(spec, seed=int(seed)) for spec in specs]
     result = run_scenarios(specs, workers=workers, suite=name,
                            progress=progress, profile_dir=profile_dir,
-                           trace_dir=trace_dir)
+                           trace_dir=trace_dir, digest_dir=digest_dir)
     result.seed_override = None if seed is None else int(seed)
     return result

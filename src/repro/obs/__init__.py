@@ -34,10 +34,13 @@ from repro.obs.summary import (
 from repro.obs.tracer import (
     NULL_TRACER,
     TRACE_SCHEMA,
+    CompositeTracer,
     NullTracer,
     RoundTracer,
     Tracer,
+    add_round_observer,
     make_tracer,
+    remove_round_observer,
 )
 
 __all__ = [
@@ -45,6 +48,7 @@ __all__ = [
     "TRACE_SCHEMA",
     "TRACE_SUFFIX",
     "NULL_TRACER",
+    "CompositeTracer",
     "Heartbeat",
     "NullTracer",
     "PhaseDrift",
@@ -53,6 +57,8 @@ __all__ = [
     "RoundTracer",
     "Tracer",
     "TraceSummary",
+    "add_round_observer",
+    "remove_round_observer",
     "compare_traces",
     "comparison_as_dict",
     "cpu_seconds",

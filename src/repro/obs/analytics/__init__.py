@@ -29,6 +29,7 @@ from repro.obs.analytics.history import (
     detect_trends,
     environment_provenance,
     load_runs,
+    localize_digest_change,
     run_record,
     trend_rows,
 )
@@ -61,6 +62,7 @@ __all__ = [
     "line_chart",
     "load_comm_baseline",
     "load_runs",
+    "localize_digest_change",
     "render_report",
     "rss_series",
     "run_record",

@@ -68,12 +68,16 @@ def run_record(
     timing: Optional[Mapping[str, object]] = None,
     timestamp: Optional[float] = None,
     knobs: Optional[Mapping[str, object]] = None,
+    digest_dir: Optional[Path] = None,
 ) -> Dict[str, object]:
     """Build one registry record from a run's aggregate (+ optional timing).
 
     ``knobs`` carries the perf-only execution parameters (backend, shards,
     workers, ledger) that the deterministic aggregate deliberately omits —
     here they are exactly the provenance a trend reader wants.
+    ``digest_dir`` records where the run wrote its ``DIGEST_*.jsonl``
+    streams so ``repro report trend`` can align them when a later run's
+    aggregate digest changes.
     """
     scenarios: Mapping[str, Mapping] = summary.get("scenarios", {})
     record: Dict[str, object] = {
@@ -97,6 +101,8 @@ def run_record(
             record["peak_rss_mb"] = max(float(v) for v in rss_map.values())
     if knobs:
         record["knobs"] = dict(knobs)
+    if digest_dir is not None:
+        record["digest_dir"] = str(digest_dir)
     return record
 
 
@@ -133,6 +139,92 @@ def load_runs(path: Path, suite: Optional[str] = None) -> List[Dict[str, object]
     return runs
 
 
+#: Most per-scenario digest-drift localizations emitted per run pair before
+#: the aligner stops (the first few name the drift; the rest are noise).
+LOCALIZE_LIMIT = 3
+
+
+def localize_digest_change(
+    suite: str,
+    prev: Mapping[str, object],
+    cur: Mapping[str, object],
+    limit: int = LOCALIZE_LIMIT,
+) -> List[Finding]:
+    """Align two runs' stored ``DIGEST_*.jsonl`` streams, per scenario.
+
+    Upgrades the bare "aggregate digest changed" trend finding into
+    per-scenario (round, phase, shard) localizations via the forensics
+    aligner.  Every obstacle — no recorded ``digest_dir``, both runs
+    overwriting the same directory, a stream file missing or unreadable —
+    degrades to an ``info`` finding rather than an error: trend reporting
+    must never crash on an incomplete registry.
+    """
+    findings: List[Finding] = []
+    dir_a = prev.get("digest_dir")
+    dir_b = cur.get("digest_dir")
+    if not dir_a or not dir_b:
+        findings.append(Finding(
+            "info", suite, "digest",
+            "no stored digest streams to align (run with --digest DIR to "
+            "record them; then a digest change localizes itself)",
+        ))
+        return findings
+    if str(dir_a) == str(dir_b):
+        findings.append(Finding(
+            "info", suite, "digest",
+            f"both runs wrote digest streams to {dir_a} — the earlier run's "
+            "streams were overwritten, so there is nothing to align; use "
+            "distinct --digest directories per run",
+        ))
+        return findings
+    from repro.obs.forensics import (
+        digest_filename, first_divergence, load_digests, render_divergence,
+    )
+
+    emitted = 0
+    scenarios = sorted(set(prev.get("scenarios") or [])
+                       & set(cur.get("scenarios") or []))
+    for scenario in scenarios:
+        path_a = Path(dir_a) / digest_filename(scenario)
+        path_b = Path(dir_b) / digest_filename(scenario)
+        missing = [str(p) for p in (path_a, path_b) if not p.exists()]
+        if missing:
+            findings.append(Finding(
+                "info", suite, "digest",
+                f"{scenario}: digest stream missing "
+                f"({', '.join(missing)}); cannot align",
+            ))
+            continue
+        try:
+            div = first_divergence(load_digests(path_a),
+                                   load_digests(path_b))
+        except (OSError, ValueError) as exc:
+            findings.append(Finding(
+                "info", suite, "digest",
+                f"{scenario}: unreadable digest stream ({exc})",
+            ))
+            continue
+        if div is None:
+            continue
+        summary_line = render_divergence(div).splitlines()[0]
+        findings.append(Finding(
+            "info", suite, "digest",
+            f"{summary_line} — bisect with "
+            f"`repro diff {path_a} {path_b} --bisect`",
+        ))
+        emitted += 1
+        if emitted >= limit:
+            remaining = len(scenarios) - scenarios.index(scenario) - 1
+            if remaining > 0:
+                findings.append(Finding(
+                    "info", suite, "digest",
+                    f"{remaining} more scenario(s) not aligned "
+                    f"(localization limit {limit})",
+                ))
+            break
+    return findings
+
+
 def detect_trends(
     runs: List[Dict[str, object]],
     wall_budget: float = 0.25,
@@ -145,7 +237,9 @@ def detect_trends(
 
     * ``valid_trials`` dropping between runs of the same digest → ``fail``
       (same workload, fewer valid colorings — a real correctness drift);
-    * aggregate digest change → ``info`` (deliberate refreshes land here);
+    * aggregate digest change → ``info``, upgraded with per-scenario
+      localizations when both runs stored ``DIGEST_*.jsonl`` streams
+      (:func:`localize_digest_change`);
     * wall-clock / peak-RSS growth beyond the budgets → ``warn`` (machine
       state, same soft severity as the ``suite compare`` budgets).
     """
@@ -162,6 +256,7 @@ def detect_trends(
                     f"-> {str(cur.get('digest'))[:12]} (the measured workload "
                     "or its metrics changed)",
                 ))
+                findings.extend(localize_digest_change(suite, prev, cur))
             elif int(cur.get("valid_trials", 0)) < int(prev.get("valid_trials", 0)):
                 findings.append(Finding(
                     "fail", suite, "valid_trials",

@@ -1,0 +1,61 @@
+"""Digest artifacts: ``DIGEST_<scenario>.jsonl`` files next to traces.
+
+One digest file holds every digested trial of one scenario, in trial order:
+each trial contributes its ``header`` event, its ``round`` (and optional
+``fine``) stream, and its ``end`` event.  Unlike traces, digest streams
+carry **no wall-clock or resource fields** — they are byte-reproducible
+artifacts: re-running the same workload must reproduce the file bit for
+bit on any backend and trial-worker count, which is exactly what the CI
+``forensics-smoke`` job and ``tests/test_forensics.py`` pin.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping
+
+from repro.obs.forensics.digest import DIGEST_SCHEMA
+
+DIGEST_PREFIX = "DIGEST_"
+DIGEST_SUFFIX = ".jsonl"
+
+
+def digest_filename(scenario: str) -> str:
+    """Artifact name for one scenario's digest stream (filesystem-safe)."""
+    safe = re.sub(r"[^A-Za-z0-9._-]", "_", scenario)
+    return f"{DIGEST_PREFIX}{safe}{DIGEST_SUFFIX}"
+
+
+def write_digests(path: Path, events: Iterable[Mapping[str, object]]) -> Path:
+    """Write digest events as JSONL (one event per line, key-sorted).
+
+    Key-sorted serialization is load-bearing here: event dicts are built in
+    hook order, and sorting is what makes the byte-identity contract hold
+    across code paths that populate the same fields in different orders.
+    """
+    path = Path(path)
+    lines = [json.dumps(dict(event), sort_keys=True, default=str)
+             for event in events]
+    path.write_text("\n".join(lines) + ("\n" if lines else ""))
+    return path
+
+
+def load_digests(path: Path) -> List[Dict[str, object]]:
+    """Load a digest stream back into its event list (schema-checked)."""
+    events: List[Dict[str, object]] = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if line:
+            events.append(json.loads(line))
+    headers = [e for e in events if e.get("type") == "header"]
+    if events and not headers:
+        raise ValueError(f"{path}: no header event — not a digest stream?")
+    for header in headers:
+        if header.get("schema") != DIGEST_SCHEMA:
+            raise ValueError(
+                f"{path}: unsupported digest schema {header.get('schema')!r} "
+                f"(expected {DIGEST_SCHEMA!r})"
+            )
+    return events

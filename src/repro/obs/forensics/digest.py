@@ -1,0 +1,384 @@
+"""Canonical encodings and multiset digests for determinism forensics.
+
+Everything the forensics layer hashes flows through this module, and two
+properties carry the whole subsystem:
+
+* **Canonical bytes.** :func:`canonical_bytes` is a type-tagged,
+  length-prefixed encoding with sorted map/set bodies, so the bytes of a
+  payload (or a node's solver-visible state) never depend on dict/set
+  iteration order, ``PYTHONHASHSEED``, or which transport backend delivered
+  it.
+* **Commutative multisets.** Per-round digests are *multiset* sums
+  (64-bit wrapping sum of per-entry hashes, plus a count), not order-folded
+  chains.  The dict, batch, slot and columnar backends deliver the same
+  messages in different iteration orders, and shard workers each see only
+  their slice — a commutative accumulator makes the per-round digest
+  independent of delivery order and lets per-shard partial sums merge into
+  exactly the serial global sum.
+
+The only order-sensitive fold is the *chain* (:func:`fold_chain`), which
+links the per-round summaries into one tamper-evident running digest; the
+round sequence is deterministic by the engine's own contract, so chaining
+over it is safe.
+
+Entry hashes reuse the splitmix64 pipeline from :mod:`repro.hashing.keys`
+(and its pinned uint64-array twins in :mod:`repro.congest.columnar.kernels`
+for the vectorized fast path), so the scalar and vector paths are
+bit-identical by the same contract the columnar backend rests on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, Hashable, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.hashing.keys import _MASK64, MIX64_INIT, element_key, mix64, mix64_step
+
+try:  # pragma: no cover - exercised only when numpy is absent
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None  # type: ignore[assignment]
+
+Node = Hashable
+
+#: Stream schema tag written into every digest header.
+DIGEST_SCHEMA = "repro-digest/1"
+
+# Domain-separation salts: one per kind of digested entry, so an exchange
+# entry can never collide with a state entry built from the same integers.
+_EDGE_SALT = 0xD1E5  # delivered (sender, receiver, payload) entries
+_VALUE_SALT = 0xD15C  # broadcast_discard per-sender sent values
+_STATE_SALT = 0x57A7  # per-node solver-visible state entries
+_INT_SALT = 0x1477  # small-int payload fast path
+_CHAIN_SALT = 0xC4A1  # chain initialisation
+
+#: Every chain starts here; byte-identical streams share it by construction.
+CHAIN_INIT = mix64(_CHAIN_SALT)
+
+#: Use the vectorized kernels only above this batch size: below it the
+#: numpy array setup costs more than the scalar loop it replaces.
+_VECTOR_MIN = 32
+
+
+def hex16(value: int) -> str:
+    """Fixed-width lowercase hex of a 64-bit digest value."""
+    return format(value & _MASK64, "016x")
+
+
+# --------------------------------------------------------------- canonical
+def canonical_bytes(obj: Any) -> bytes:
+    """Type-tagged canonical encoding of a payload-like Python value.
+
+    Deterministic across processes and hash seeds: containers are
+    length-delimited, dict entries are sorted by their key encoding, sets by
+    their element encoding.  Unknown types fall back to ``repr`` (tagged, so
+    a string can never forge the encoding of an exotic object).
+    """
+    out = bytearray()
+    _encode(obj, out)
+    return bytes(out)
+
+
+def _encode(obj: Any, out: bytearray) -> None:
+    kind = type(obj)
+    if obj is None:
+        out += b"N;"
+    elif kind is bool:
+        out += b"T;" if obj else b"F;"
+    elif kind is int:
+        out += b"i%d;" % obj
+    elif kind is float:
+        out += b"f%s;" % repr(obj).encode("ascii")
+    elif kind is str:
+        data = obj.encode("utf-8")
+        out += b"s%d:" % len(data)
+        out += data
+    elif kind is bytes or kind is bytearray:
+        out += b"b%d:" % len(obj)
+        out += obj
+    elif kind is tuple or kind is list:
+        out += b"(" if kind is tuple else b"["
+        for item in obj:
+            _encode(item, out)
+        out += b")" if kind is tuple else b"]"
+    elif isinstance(obj, dict):
+        # Sorting the concatenated key+value encodings sorts by key
+        # encoding: key encodings are prefix-free per entry, and Python
+        # equality unifies keys (1 == 1.0) whose encodings differ, so keys
+        # of one dict always have distinct encodings.
+        parts = sorted(
+            canonical_bytes(key) + canonical_bytes(value)
+            for key, value in obj.items()
+        )
+        out += b"{"
+        for part in parts:
+            out += part
+        out += b"}"
+    elif isinstance(obj, (set, frozenset)):
+        parts = sorted(canonical_bytes(item) for item in obj)
+        out += b"<"
+        for part in parts:
+            out += part
+        out += b">"
+    else:
+        data = repr(obj).encode("utf-8")
+        out += b"r%d:" % len(data)
+        out += data
+
+
+def hash_bytes(data: bytes) -> int:
+    """64-bit blake2b of an encoded value."""
+    return int.from_bytes(
+        hashlib.blake2b(data, digest_size=8).digest(), "big"
+    )
+
+
+def payload_hash(payload: Any) -> int:
+    """64-bit hash of one message payload.
+
+    Plain uint64-range ints (the dominant payload shape: colors, counters,
+    packed words) take a pure splitmix64 path that the columnar kernels can
+    reproduce vectorized; everything else hashes its canonical bytes.
+    """
+    if type(payload) is int and 0 <= payload <= _MASK64:
+        return mix64(_INT_SALT, payload)
+    return hash_bytes(canonical_bytes(payload))
+
+
+# ------------------------------------------------------------ entry hashes
+# Precomputed chain prefixes: mix64(SALT, ...) == chained steps from
+# MIX64_INIT, so folding from the precomputed accumulator saves one step
+# per entry and gives the vector path a ready-made uint64 seed.
+_EDGE_ACC = mix64_step(MIX64_INIT, _EDGE_SALT)
+_VALUE_ACC = mix64_step(MIX64_INIT, _VALUE_SALT)
+_STATE_ACC = mix64_step(MIX64_INIT, _STATE_SALT)
+_INT_ACC = mix64_step(MIX64_INIT, _INT_SALT)
+
+# The same directed edges recur every round of a run, so their two-step key
+# prefix is cached by (sender, receiver).  Caching by node *equality* is
+# consistent with element_key's own semantics (it already unifies 1, 1.0 and
+# True), so a cache hit always returns exactly the uncached value.  Bounded
+# by wholesale clearing — entries are cheap to recompute and a massive-n run
+# on the scalar path must not hold a multi-hundred-MB cache alive.
+_EDGE_PREFIX: Dict[Any, int] = {}
+_VALUE_PREFIX: Dict[Any, int] = {}
+_PREFIX_CACHE_MAX = 1 << 18
+
+
+def delivery_entry_hashes(
+    senders: Sequence[Node],
+    receivers: Sequence[Node],
+    payloads: Sequence[Any],
+) -> List[int]:
+    """Multiset entry hashes for delivered per-edge messages.
+
+    Entry = ``mix64(_EDGE_SALT, key(sender), key(receiver), payload_hash)``.
+    Broadcast inboxes fold through the same function with the same
+    (sender, receiver) orientation, so an exchange and the broadcast that
+    delivers identical bytes produce identical entries.
+
+    When numpy is available and every payload is a plain uint64-range int,
+    the whole batch runs through the pinned uint64 kernel twins.
+    """
+    count = len(payloads)
+    if (
+        np is not None
+        and count >= _VECTOR_MIN
+        and all(type(p) is int and 0 <= p <= _MASK64 for p in payloads)
+    ):
+        from repro.congest.columnar.kernels import (
+            element_keys_array,
+            mix64_step_vec,
+        )
+
+        pay = np.fromiter(payloads, dtype=np.uint64, count=count)
+        phashes = mix64_step_vec(np.uint64(_INT_ACC), pay)
+        acc = mix64_step_vec(np.uint64(_EDGE_ACC), element_keys_array(senders))
+        acc = mix64_step_vec(acc, element_keys_array(receivers))
+        acc = mix64_step_vec(acc, phashes)
+        return acc.tolist()
+    prefixes = _EDGE_PREFIX
+    if len(prefixes) > _PREFIX_CACHE_MAX:
+        prefixes.clear()
+    # Per-call identity memo: broadcast fan-out repeats one payload object
+    # per receiver, and identical objects trivially hash identically.  The
+    # payloads sequence keeps every object alive, so ids are stable here.
+    memo: Dict[int, int] = {}
+    memo_get = memo.get
+    out: List[int] = []
+    append = out.append
+    for i in range(count):
+        sender = senders[i]
+        receiver = receivers[i]
+        payload = payloads[i]
+        edge = (sender, receiver)
+        prefix = prefixes.get(edge)
+        if prefix is None:
+            prefix = prefixes[edge] = mix64_step(
+                mix64_step(_EDGE_ACC, element_key(sender)),
+                element_key(receiver),
+            )
+        entry = memo_get(id(payload))
+        if entry is None:
+            entry = memo[id(payload)] = payload_hash(payload)
+        append(mix64_step(prefix, entry))
+    return out
+
+
+def value_entry_hash(sender: Node, payload: Any) -> int:
+    """Multiset entry hash for one ``broadcast_discard`` sent value."""
+    prefixes = _VALUE_PREFIX
+    prefix = prefixes.get(sender)
+    if prefix is None:
+        if len(prefixes) > _PREFIX_CACHE_MAX:
+            prefixes.clear()
+        prefix = prefixes[sender] = mix64_step(_VALUE_ACC, element_key(sender))
+    return mix64_step(prefix, payload_hash(payload))
+
+
+def node_state_entry(node: Node, state: Any) -> int:
+    """Multiset entry hash for one node's solver-visible state.
+
+    ``state`` is a :class:`~repro.congest.node.NodeState`; the digested
+    value is the canonical encoding of ``(halted, output, memory)`` — the
+    full solver-visible surface, RNG-derived fields included.
+    """
+    return mix64_step(
+        mix64_step(_STATE_ACC, element_key(node)),
+        hash_bytes(canonical_bytes((state.halted, state.output, state.memory))),
+    )
+
+
+# ------------------------------------------------------------ accumulators
+class MultisetDigest:
+    """Commutative digest: wrapping 64-bit sum of entry hashes + count.
+
+    Order-independent and mergeable: the sum of per-shard accumulators over
+    a partition of the entries equals the serial accumulator over all of
+    them, which is exactly the shard-merge contract the coordinator relies
+    on.
+    """
+
+    __slots__ = ("value", "count")
+
+    def __init__(self, value: int = 0, count: int = 0):
+        self.value = value & _MASK64
+        self.count = count
+
+    def add(self, entry_hash: int) -> None:
+        self.value = (self.value + entry_hash) & _MASK64
+        self.count += 1
+
+    def add_many(self, entry_hashes: Iterable[int]) -> None:
+        total = self.value
+        count = self.count
+        for entry_hash in entry_hashes:
+            total += entry_hash
+            count += 1
+        self.value = total & _MASK64
+        self.count = count
+
+    def merge(self, value: int, count: int) -> None:
+        """Fold another accumulator's (value, count) into this one."""
+        self.value = (self.value + value) & _MASK64
+        self.count += count
+
+    def snapshot(self) -> Tuple[int, int]:
+        return (self.value, self.count)
+
+    def reset(self) -> None:
+        self.value = 0
+        self.count = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MultisetDigest(value=0x{hex16(self.value)}, count={self.count})"
+
+
+def fold_chain(chain: int, *values: int) -> int:
+    """Fold round-summary integers into the running chain digest."""
+    acc = chain
+    for value in values:
+        acc = mix64_step(acc, value)
+    return acc
+
+
+def states_digest(states: Mapping[Node, Any]) -> Tuple[int, int]:
+    """Multiset digest (value, count) over a mapping of final node states.
+
+    Uses the same per-node entries as the per-round state digest, so the
+    digest of :attr:`Simulator.states` after a run matches the state
+    component of the final recorded round when no node mutates afterwards.
+    """
+    acc = MultisetDigest()
+    acc.add_many(
+        node_state_entry(node, state) for node, state in states.items()
+    )
+    return acc.snapshot()
+
+
+def inbox_count(inboxes: Mapping[Node, Mapping[Node, Any]]) -> int:
+    """Total delivered messages across a broadcast inbox mapping."""
+    return sum(len(box) for box in inboxes.values())
+
+
+def flatten_inboxes(
+    inboxes: Mapping[Node, Mapping[Node, Any]]
+) -> Tuple[List[Node], List[Node], List[Any]]:
+    """Flatten ``inbox[receiver][sender] = payload`` to aligned columns.
+
+    Ordered (sender, receiver) orientation matches the exchange mapping's
+    ``(sender, receiver)`` keys, so broadcast and exchange digests agree on
+    identical delivered bytes.
+    """
+    senders: List[Node] = []
+    receivers: List[Node] = []
+    payloads: List[Any] = []
+    for receiver, box in inboxes.items():
+        for sender, payload in box.items():
+            senders.append(sender)
+            receivers.append(receiver)
+            payloads.append(payload)
+    return senders, receivers, payloads
+
+
+def flatten_exchange(
+    delivered: Mapping[Tuple[Node, Node], Any]
+) -> Tuple[List[Node], List[Node], List[Any]]:
+    """Flatten an exchange result mapping to aligned columns."""
+    senders: List[Node] = []
+    receivers: List[Node] = []
+    payloads: List[Any] = []
+    for (sender, receiver), payload in delivered.items():
+        senders.append(sender)
+        receivers.append(receiver)
+        payloads.append(payload)
+    return senders, receivers, payloads
+
+
+def label_key(label: str) -> int:
+    """Stable 64-bit key of a round label for the chain fold."""
+    return element_key(label)
+
+
+def merge_shard_parts(
+    parts: Sequence[Tuple[int, int, int, int, int]]
+) -> Dict[str, int]:
+    """Merge per-shard (payload_sum, payload_n, state_sum, state_n, halted).
+
+    Pure sum-merge — shard order does not matter, which is what makes the
+    sharded chain equal to the serial one.
+    """
+    payload = MultisetDigest()
+    state = MultisetDigest()
+    halted = 0
+    for payload_sum, payload_n, state_sum, state_n, shard_halted in parts:
+        payload.merge(payload_sum, payload_n)
+        state.merge(state_sum, state_n)
+        halted += shard_halted
+    return {
+        "payload_sum": payload.value,
+        "payload_n": payload.count,
+        "state_sum": state.value,
+        "state_n": state.count,
+        "halted": halted,
+    }

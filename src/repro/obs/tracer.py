@@ -51,10 +51,19 @@ class Tracer:
     ``enabled`` is a class attribute so drivers can guard per-round hook
     calls with a single attribute check (``if tracer.enabled: ...``) instead
     of a method call — that is what makes the :class:`NullTracer` default
-    genuinely free on hot paths.
+    genuinely free on hot paths.  ``wants_payloads`` and ``wants_state``
+    guard the forensics hooks the same way: the network only walks delivered
+    payloads (and the simulator only walks node states) for tracers that
+    opted in, so tracing rounds stays free of per-message work.
     """
 
     enabled = False
+    #: Opt-in: receive delivered payloads via the ``note_exchange`` /
+    #: ``note_inboxes`` / ``note_values`` hooks after every primitive.
+    wants_payloads = False
+    #: Opt-in: receive per-node solver-visible state via ``note_state``
+    #: at the end of every simulator step.
+    wants_state = False
 
     def attach(self, network) -> None:
         """Start observing ``network`` (install the ledger round observer)."""
@@ -71,6 +80,21 @@ class Tracer:
         the analytics layer's cut-traffic fraction.
         """
 
+    def note_exchange(self, delivered) -> None:
+        """Payload hook: one round's delivered ``{(u, v): payload}`` mapping."""
+
+    def note_inboxes(self, inboxes) -> None:
+        """Payload hook: one round's delivered ``inbox[v][u]`` mapping."""
+
+    def note_values(self, values) -> None:
+        """Payload hook: a ``broadcast_discard`` round's sent values."""
+
+    def note_state(self, items) -> None:
+        """State hook: iterable of ``(node, entry_hash, halted)`` post-step."""
+
+    def note_shard_digests(self, parts) -> None:
+        """Coordinator hook: per-shard digest contributions of a merged round."""
+
     def close(self) -> None:
         """Stop observing and finalize (idempotent)."""
 
@@ -81,6 +105,127 @@ class NullTracer(Tracer):
 
 #: Shared singleton — every untraced network points here, allocating nothing.
 NULL_TRACER = NullTracer()
+
+
+class _ObserverMux:
+    """Fan one ledger ``observer`` slot out to several round observers.
+
+    The ledger keeps its single-callable seam (one attribute check per
+    round); composition lives here.  Callbacks fire in attach order, which
+    is part of the observation-only contract's determinism: two tracers on
+    one ledger see the same interleaving on every run.
+    """
+
+    __slots__ = ("callbacks",)
+
+    def __init__(self, callbacks) -> None:
+        self.callbacks = list(callbacks)
+
+    def __call__(self, index: int, label: str, message_count: int,
+                 total_bits: int, max_edge_bits: int) -> None:
+        for callback in self.callbacks:
+            callback(index, label, message_count, total_bits, max_edge_bits)
+
+
+def add_round_observer(ledger, callback) -> None:
+    """Install ``callback`` as a round observer, composing with any existing one.
+
+    First observer goes straight into the ledger slot (zero indirection for
+    the common single-tracer run); a second observer upgrades the slot to a
+    :class:`_ObserverMux` transparently.
+    """
+    current = ledger.observer
+    if current is None:
+        ledger.observer = callback
+    elif isinstance(current, _ObserverMux):
+        current.callbacks.append(callback)
+    else:
+        ledger.observer = _ObserverMux([current, callback])
+
+
+def remove_round_observer(ledger, callback) -> None:
+    """Detach ``callback``, unwrapping the mux when one observer remains.
+
+    Bound-method access creates a fresh object each time, so membership is
+    by ``==`` (same function + same instance), never ``is``.  Removing a
+    callback that is not installed is a no-op, which keeps tracer ``close``
+    idempotent.
+    """
+    current = ledger.observer
+    if current is None:
+        return
+    if isinstance(current, _ObserverMux):
+        try:
+            current.callbacks.remove(callback)
+        except ValueError:
+            return
+        if len(current.callbacks) == 1:
+            ledger.observer = current.callbacks[0]
+        elif not current.callbacks:
+            ledger.observer = None
+    elif current == callback:
+        ledger.observer = None
+
+
+class CompositeTracer(Tracer):
+    """Fan every tracer hook out to several tracers on one run.
+
+    ``enabled`` / ``wants_payloads`` / ``wants_state`` are the ORs of the
+    members', so drivers guard hooks exactly as for a single tracer; payload
+    and state hooks are forwarded only to members that opted in.
+    """
+
+    def __init__(self, tracers) -> None:
+        self.tracers = [t for t in tracers if t is not None and t.enabled]
+        self.enabled = bool(self.tracers)
+        self.wants_payloads = any(t.wants_payloads for t in self.tracers)
+        self.wants_state = any(t.wants_state for t in self.tracers)
+
+    def attach(self, network) -> None:
+        for tracer in self.tracers:
+            tracer.attach(network)
+
+    def note_nodes(self, active: int, owned: int) -> None:
+        for tracer in self.tracers:
+            tracer.note_nodes(active, owned)
+
+    def note_shards(self, shard_stats: Sequence[ShardStats],
+                    cut_messages: int = 0) -> None:
+        for tracer in self.tracers:
+            tracer.note_shards(shard_stats, cut_messages=cut_messages)
+
+    def note_exchange(self, delivered) -> None:
+        for tracer in self.tracers:
+            if tracer.wants_payloads:
+                tracer.note_exchange(delivered)
+
+    def note_inboxes(self, inboxes) -> None:
+        for tracer in self.tracers:
+            if tracer.wants_payloads:
+                tracer.note_inboxes(inboxes)
+
+    def note_values(self, values) -> None:
+        for tracer in self.tracers:
+            if tracer.wants_payloads:
+                tracer.note_values(values)
+
+    def note_state(self, items) -> None:
+        wanting = [t for t in self.tracers if t.wants_state]
+        if not wanting:
+            return
+        if len(wanting) > 1:
+            items = list(items)  # the hook may receive a one-shot generator
+        for tracer in wanting:
+            tracer.note_state(items)
+
+    def note_shard_digests(self, parts) -> None:
+        for tracer in self.tracers:
+            if tracer.wants_payloads or tracer.wants_state:
+                tracer.note_shard_digests(parts)
+
+    def close(self) -> None:
+        for tracer in self.tracers:
+            tracer.close()
 
 
 class RoundTracer(Tracer):
@@ -155,13 +300,8 @@ class RoundTracer(Tracer):
         if self._closed:
             raise RuntimeError("tracer is closed; build a fresh one per run")
         ledger = network.ledger
-        if ledger.observer is not None:
-            raise RuntimeError(
-                "the network's ledger already has a round observer; one "
-                "tracer per ledger (share the tracer, not the ledger)"
-            )
         self._network = network
-        ledger.observer = self._on_round
+        add_round_observer(ledger, self._on_round)
         now = self._clock()
         self._started = self._last_ts = self._last_sample_ts = now
         header: Dict[str, Any] = {
@@ -191,10 +331,7 @@ class RoundTracer(Tracer):
         network = self._network
         if network is None:
             return
-        # Bound-method access creates a fresh object each time, so compare
-        # with == (same function + same instance), not `is`.
-        if network.ledger.observer == self._on_round:
-            network.ledger.observer = None
+        remove_round_observer(network.ledger, self._on_round)
         now = self._clock()
         ledger = network.ledger
         end: Dict[str, Any] = {

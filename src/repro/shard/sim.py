@@ -152,6 +152,12 @@ def _unship_exception(shipped: tuple) -> BaseException:
     return RuntimeError(payload)
 
 
+def _round_digest(network) -> Optional[tuple]:
+    """Drain the worker network's digest collector for the round, if any."""
+    take = getattr(network.tracer, "take_round_digest", None)
+    return None if take is None else take()
+
+
 def _worker_loop(endpoint, build) -> None:
     """Serve one shard for the lifetime of a run (both runtimes share this)."""
     try:
@@ -174,13 +180,22 @@ def _worker_loop(endpoint, build) -> None:
                     # whether the global round executes at all.
                     endpoint.send(("skipped", sim.active_count))
                 else:
-                    endpoint.send(("stepped", sim.active_count))
+                    endpoint.send(("stepped", sim.active_count,
+                                   _round_digest(network)))
             elif kind == "absorb":
                 # Another shard exchanged this round: participate with an
                 # empty send so the clock, fault schedule and cut-edge
                 # deliveries addressed here stay in lockstep.
                 network.exchange({}, label=msg[1])
-                endpoint.send(("stepped", sim.active_count))
+                collector = network.tracer
+                if (getattr(collector, "take_round_digest", None) is not None
+                        and collector.wants_state):
+                    # An absorbed shard ran no step, so the simulator's own
+                    # post-step state hook never fired — but its frozen
+                    # states are still part of the global round digest.
+                    collector.note_state(sim.state_digest_items())
+                endpoint.send(("stepped", sim.active_count,
+                               _round_digest(network)))
             elif kind == "finish":
                 stats = getattr(network.transport, "fault_stats", None)
                 endpoint.send(("result", (
@@ -318,7 +333,21 @@ class ShardedSimulator:
             # the plan's factor at construction), so wrap without re-scaling.
             transport = FaultyTransport(router, self._fault_plan,
                                         seed=self._fault_seed)
-        shard_net = Network(network.graph, mode=network.mode, backend=transport)
+        collector = None
+        master_tracer = network.tracer
+        if master_tracer.wants_payloads or master_tracer.wants_state:
+            # The master digest tracer stays in the coordinator; each worker
+            # accumulates its shard's payload/state contributions locally and
+            # ships them back with every ``stepped`` reply (sum-merged by the
+            # coordinator, so the sharded chain equals the serial one).
+            from repro.obs.forensics.tracer import ShardDigestCollector
+
+            collector = ShardDigestCollector(
+                wants_payloads=master_tracer.wants_payloads,
+                wants_state=master_tracer.wants_state,
+            )
+        shard_net = Network(network.graph, mode=network.mode, backend=transport,
+                            tracer=collector)
         sim = Simulator(shard_net, self.program, seed=self.seed,
                         slots=self.plan.slot_range(shard_id))
         if self.workers == "fork":
@@ -399,11 +428,13 @@ class ShardedSimulator:
                         incoming[dest][src] = batch
                 for dest, handle in enumerate(handles):
                     handle.send(("deliver", incoming[dest]))
+                stepped: List[tuple] = []
                 for i, handle in enumerate(handles):
                     msg = handle.recv()
                     if msg[0] == "error":
                         self._abort(handles, msg[1])
                     active[i] = msg[1]
+                    stepped.append(msg)
                 if tracer.enabled:
                     # Observation only: per-shard deltas of the round just
                     # merged, the shard-boundary message count the
@@ -422,6 +453,14 @@ class ShardedSimulator:
                 self.network.ledger.record_round(
                     round_label, total_count, total_bits, max_bits
                 )
+                if tracer.wants_payloads or tracer.wants_state:
+                    # After record_round: the digest tracer attaches shard
+                    # parts to the round the observer just opened.  Handle
+                    # order == shard order, deterministically.
+                    parts = [msg[2] for msg in stepped
+                             if len(msg) > 2 and msg[2] is not None]
+                    if parts:
+                        tracer.note_shard_digests(parts)
                 executed += 1
             outputs: Dict[Any, Any] = {}
             states: Dict[Any, Any] = {}

@@ -1,0 +1,633 @@
+"""Determinism forensics tests (repro.obs.forensics).
+
+The headline contracts pinned here:
+
+* **Digest byte-identity** — a scenario's ``DIGEST_*.jsonl`` stream is byte
+  for byte identical across every transport backend (dict/batch/slot/
+  columnar) and across the trial-worker process boundary (``--workers 1``
+  vs ``2``); a program run under :class:`ShardedSimulator` (fork and thread
+  workers alike) reproduces the serial chain and final digest exactly.
+* **Observation-only** — digesting consumes no RNG: rows, ledgers, and
+  outputs are byte-identical to an undigested run.
+* **Localization** — ``repro diff`` names the first divergent (round,
+  phase, shard), and ``--bisect`` re-runs a fine window to name the exact
+  injected (round, node) of a single-edge fault.
+* **Composition** — the observer multiplexer lets RoundTracer and
+  DigestTracer share one ledger, attached and detached in any order.
+"""
+
+import json
+from dataclasses import replace
+
+import networkx as nx
+import pytest
+
+from repro.congest import Network
+from repro.congest.program import NodeProgram
+from repro.congest.simulator import Simulator
+from repro.experiments import (
+    aggregate_suite,
+    canonical_dumps,
+    get_suite,
+    run_scenarios,
+)
+from repro.experiments.compare import compare_summaries, gate_passes
+from repro.experiments.registry import GRAPH_FAMILIES
+from repro.experiments.runner import (
+    run_instrumented_trial,
+    run_trial,
+)
+from repro.experiments.spec import trial_seeds
+from repro.obs import RoundTracer, add_round_observer, remove_round_observer
+from repro.obs.forensics import (
+    DIGEST_SCHEMA,
+    DigestTracer,
+    MultisetDigest,
+    bisect_divergence,
+    canonical_bytes,
+    digest_filename,
+    first_divergence,
+    load_digests,
+    payload_hash,
+    render_bisect,
+    render_divergence,
+    spec_from_payload,
+    spec_payload,
+    split_trials,
+    write_digests,
+)
+from repro.shard.sim import ShardedSimulator
+
+
+class CountDown(NodeProgram):
+    """Every node floods a round-dependent value for four rounds, then halts."""
+
+    def init(self, ctx):
+        ctx.state.memory["t"] = 0
+
+    def step(self, ctx, inbox):
+        ctx.state.memory["t"] += 1
+        if ctx.state.memory["t"] >= 4:
+            ctx.state.halt()
+        return {v: ctx.state.memory["t"] * 7 + sum(inbox.values())
+                for v in ctx.network.neighbors(ctx.node)}
+
+    def finish(self, ctx):
+        return ctx.state.memory["t"]
+
+
+def stream_bytes(events):
+    """The exact serialization ``write_digests`` uses, without the file."""
+    return "\n".join(json.dumps(dict(e), sort_keys=True, default=str)
+                     for e in events)
+
+
+def smoke_spec(name, **overrides):
+    spec = next(s for s in get_suite("smoke") if s.name == name)
+    return replace(spec, **overrides) if overrides else spec
+
+
+def digest_run(spec, trial=0, fine_rounds=None):
+    row, _, events = run_instrumented_trial(spec, trial, digest=True,
+                                            fine_rounds=fine_rounds)
+    return row, events
+
+
+def strip_machine(row):
+    row = dict(row)
+    row.pop("wall_s", None)
+    row.pop("peak_rss_mb", None)
+    return row
+
+
+# --------------------------------------------------------------------------- #
+# Digest primitives
+# --------------------------------------------------------------------------- #
+
+class TestDigestPrimitives:
+    def test_canonical_bytes_separates_types(self):
+        assert canonical_bytes(1) != canonical_bytes("1")
+        assert canonical_bytes(True) != canonical_bytes(1)
+        assert canonical_bytes((1, 2)) != canonical_bytes([1, 2])
+        assert canonical_bytes(b"x") != canonical_bytes("x")
+        assert canonical_bytes(1.0) != canonical_bytes(1)
+
+    def test_canonical_bytes_is_order_canonical_for_mappings(self):
+        assert canonical_bytes({"a": 1, "b": 2}) == \
+            canonical_bytes({"b": 2, "a": 1})
+        assert canonical_bytes({2, 1, 3}) == canonical_bytes({3, 2, 1})
+
+    def test_payload_hash_int_fast_path_matches_itself(self):
+        assert payload_hash(5) == payload_hash(5)
+        assert payload_hash(5) != payload_hash(6)
+        assert payload_hash(-1) != payload_hash(1)
+        assert payload_hash("x") != payload_hash(b"x")
+
+    def test_multiset_digest_is_order_free_and_mergeable(self):
+        entries = [payload_hash(v) for v in (3, 1, 2, 2)]
+        forward = MultisetDigest()
+        forward.add_many(entries)
+        backward = MultisetDigest()
+        backward.add_many(reversed(entries))
+        assert forward.snapshot() == backward.snapshot()
+        assert forward.count == 4
+        # shard-style partials merge to the serial total
+        left, right = MultisetDigest(), MultisetDigest()
+        left.add_many(entries[:2])
+        right.add_many(entries[2:])
+        left.merge(right.value, right.count)
+        assert left.snapshot() == forward.snapshot()
+
+
+# --------------------------------------------------------------------------- #
+# Observer multiplexer: tracers compose on one ledger (satellite 1)
+# --------------------------------------------------------------------------- #
+
+class TestObserverMux:
+    def test_round_and_digest_tracers_share_a_ledger(self):
+        round_tracer = RoundTracer()
+        net = Network(nx.path_graph(4), tracer=round_tracer)
+        digest_tracer = DigestTracer()
+        digest_tracer.attach(net)  # historically raised on an occupied ledger
+        net.exchange({(0, 1): 1}, label="a:one")
+        round_tracer.close()
+        digest_tracer.close()
+        assert [e["type"] for e in round_tracer.events] == \
+            ["header", "round", "end"]
+        assert [e["type"] for e in digest_tracer.events] == \
+            ["header", "round", "end"]
+        assert net.ledger.observer is None
+
+    @pytest.mark.parametrize("close_order", ["attach", "reverse"])
+    def test_detach_in_any_order_keeps_the_survivor_observing(self, close_order):
+        first = RoundTracer()
+        net = Network(nx.path_graph(4), tracer=first)
+        second = DigestTracer()
+        second.attach(net)
+        net.exchange({(0, 1): 1}, label="a:one")
+        closing, surviving = ((first, second) if close_order == "attach"
+                              else (second, first))
+        closing.close()
+        net.exchange({(1, 2): 1}, label="a:two")
+        surviving.close()
+        survivor_rounds = [e for e in surviving.events if e["type"] == "round"]
+        closed_rounds = [e for e in closing.events if e["type"] == "round"]
+        assert len(survivor_rounds) == 2
+        assert len(closed_rounds) == 1
+        assert net.ledger.observer is None
+
+    def test_add_remove_round_observer_unwraps(self):
+        net = Network(nx.path_graph(3))
+        seen_a, seen_b = [], []
+        cb_a = lambda *args: seen_a.append(args)  # noqa: E731
+        cb_b = lambda *args: seen_b.append(args)  # noqa: E731
+        add_round_observer(net.ledger, cb_a)
+        assert net.ledger.observer is cb_a  # single observer stays direct
+        add_round_observer(net.ledger, cb_b)
+        net.exchange({(0, 1): 1}, label="x")
+        assert len(seen_a) == len(seen_b) == 1
+        remove_round_observer(net.ledger, cb_a)
+        assert net.ledger.observer is cb_b  # mux of one unwraps
+        remove_round_observer(net.ledger, cb_a)  # idempotent no-op
+        remove_round_observer(net.ledger, cb_b)
+        assert net.ledger.observer is None
+
+    def test_instrumented_trial_with_both_instruments(self):
+        spec = smoke_spec("gnp-d1c", trials=1)
+        row, trace_events, digest_events = run_instrumented_trial(
+            spec, 0, trace=True, digest=True)
+        assert trace_events[-1]["type"] == "end"
+        assert digest_events[-1]["type"] == "end"
+        assert row["state_digest"] == digest_events[-1]["chain"]
+        # both instruments on == digest-only, byte for byte
+        _, solo_events = digest_run(spec)
+        assert stream_bytes(digest_events) == stream_bytes(solo_events)
+
+
+# --------------------------------------------------------------------------- #
+# Byte-identity across backends, worker boundaries, shard runtimes (sat. 3)
+# --------------------------------------------------------------------------- #
+
+class TestDigestByteIdentity:
+    @pytest.mark.parametrize("backend", ["batch", "slot", "columnar"])
+    def test_streams_identical_across_backends(self, backend):
+        # planted-acd exercises the columnar buddy-sweep decline; gnp-d1c
+        # the coloring pipeline.  "dict" is the reference side.
+        for name in ("gnp-d1c", "planted-acd"):
+            spec = smoke_spec(name, trials=1)
+            ref_row, ref_events = digest_run(replace(spec, backend="dict"))
+            row, events = digest_run(replace(spec, backend=backend))
+            assert stream_bytes(events) == stream_bytes(ref_events)
+            assert strip_machine(row) == strip_machine(ref_row)
+
+    def test_streams_identical_across_trial_worker_boundary(self, tmp_path):
+        specs = [smoke_spec("gnp-d1c"), smoke_spec("powerlaw-d1lc")]
+        run_scenarios(specs, suite="smoke", digest_dir=tmp_path / "serial")
+        run_scenarios(specs, suite="smoke", workers=2,
+                      digest_dir=tmp_path / "parallel")
+        for spec in specs:
+            name = digest_filename(spec.name)
+            assert (tmp_path / "serial" / name).read_bytes() == \
+                (tmp_path / "parallel" / name).read_bytes()
+
+    @pytest.mark.parametrize("workers", ["thread", "fork"])
+    def test_sharded_simulator_reproduces_serial_chain(self, workers):
+        graph = nx.gnm_random_graph(24, 60, seed=5)
+
+        def run(sharded):
+            tracer = DigestTracer()
+            net = Network(graph, tracer=tracer)
+            if sharded:
+                sim = ShardedSimulator(net, CountDown(), seed=2, shards=3,
+                                       workers=workers)
+            else:
+                sim = Simulator(net, CountDown(), seed=2)
+            result = sim.run(label="ping:step")
+            tracer.close()
+            return result, tracer.events
+
+        serial_result, serial_events = run(sharded=False)
+        sharded_result, sharded_events = run(sharded=True)
+        assert sharded_result.outputs == serial_result.outputs
+        serial_rounds = [e for e in serial_events if e["type"] == "round"]
+        sharded_rounds = [e for e in sharded_events if e["type"] == "round"]
+        assert [e["chain"] for e in serial_rounds] == \
+            [e["chain"] for e in sharded_rounds]
+        assert serial_events[-1]["chain"] == sharded_events[-1]["chain"]
+        # per-round state digests are merged from per-shard sub-digests;
+        # the sharded stream additionally localizes them per shard
+        assert all("state" in e for e in serial_rounds)
+        assert any("shards" in e for e in sharded_rounds)
+        assert all("shards" not in e for e in serial_rounds)
+
+    def test_digesting_is_observation_only(self):
+        spec = smoke_spec("gnp-johansson", trials=1)
+        plain = strip_machine(run_trial(spec, 0))
+        digested, events = digest_run(spec)
+        digest_value = digested.pop("state_digest")
+        assert strip_machine(digested) == plain
+        assert digest_value == events[-1]["chain"]
+        # runs of the same spec digest identically
+        again, _ = digest_run(spec)
+        assert again["state_digest"] == digest_value
+
+    def test_spec_payload_round_trip_preserves_seeds(self):
+        spec = smoke_spec("planted-acd",
+                          faults={"delay": {(0, 1): 2}, "drop": 0.01})
+        rebuilt = spec_from_payload(spec_payload(spec))
+        assert trial_seeds(rebuilt, 0) == trial_seeds(spec, 0)
+        assert trial_seeds(rebuilt, 1) == trial_seeds(spec, 1)
+        from repro.faults import FaultPlan
+
+        assert FaultPlan.coerce(rebuilt.faults).canonical() == \
+            FaultPlan.coerce(spec.faults).canonical()
+
+
+# --------------------------------------------------------------------------- #
+# Artifacts
+# --------------------------------------------------------------------------- #
+
+class TestDigestArtifacts:
+    def test_filename_sanitizes(self):
+        assert digest_filename("gnp-d1c") == "DIGEST_gnp-d1c.jsonl"
+        assert digest_filename("weird name/x:y") == "DIGEST_weird_name_x_y.jsonl"
+
+    def test_write_load_round_trip(self, tmp_path):
+        _, events = digest_run(smoke_spec("gnp-d1c", trials=1))
+        path = write_digests(tmp_path / digest_filename("rt"), events)
+        loaded = load_digests(path)
+        assert loaded == [json.loads(json.dumps(e, sort_keys=True, default=str))
+                          for e in events]
+        assert loaded[0]["schema"] == DIGEST_SCHEMA
+
+    def test_load_rejects_foreign_jsonl(self, tmp_path):
+        path = tmp_path / "DIGEST_bogus.jsonl"
+        path.write_text('{"type": "round", "round": 1}\n')
+        with pytest.raises(ValueError, match="no header"):
+            load_digests(path)
+        path.write_text('{"type": "header", "schema": "repro-digest/99"}\n')
+        with pytest.raises(ValueError, match="unsupported digest schema"):
+            load_digests(path)
+
+    def test_split_trials_requires_header_first(self):
+        with pytest.raises(ValueError, match="header"):
+            split_trials([{"type": "round", "round": 1}])
+
+
+# --------------------------------------------------------------------------- #
+# Alignment: first_divergence
+# --------------------------------------------------------------------------- #
+
+class TestFirstDivergence:
+    def test_identical_streams_do_not_diverge(self):
+        spec = smoke_spec("gnp-d1c", trials=1)
+        _, events_a = digest_run(spec)
+        _, events_b = digest_run(spec)
+        assert first_divergence(events_a, events_b) is None
+        assert "identical" in render_divergence(None)
+
+    def test_faulted_twin_diverges_on_inbox(self):
+        spec = smoke_spec("gnp-d1c", trials=1)
+        _, clean = digest_run(spec)
+        _, faulted = digest_run(replace(spec, faults={"corrupt": 2e-3}))
+        div = first_divergence(clean, faulted)
+        assert div is not None
+        assert div.component == "inbox"
+        assert div.round is not None and div.round >= 1
+        assert "fault plans differ" in div.detail
+        rendered = render_divergence(div)
+        assert f"round {div.round}" in rendered
+
+    def test_workload_header_mismatch_is_terminal(self):
+        spec = smoke_spec("gnp-d1c", trials=1)
+        _, events_a = digest_run(spec)
+        _, events_b = digest_run(replace(spec, seed=99))
+        div = first_divergence(events_a, events_b)
+        assert div is not None and div.component == "header"
+        assert "different workloads" in div.detail
+
+    def test_trial_restriction(self):
+        spec = smoke_spec("gnp-d1c")  # two trials
+        _, events_a = digest_run(spec, trial=0)
+        _, events_b = digest_run(spec, trial=0)
+        assert first_divergence(events_a, events_b, trial=5) is None
+
+
+# --------------------------------------------------------------------------- #
+# Bisection: the injected-fault localization contract
+# --------------------------------------------------------------------------- #
+
+class TestBisect:
+    def test_bisect_names_injected_round_and_node(self, monkeypatch):
+        # Inject a single-edge, one-slot delay — exactly one message stream
+        # perturbed — and record the ground truth (transport round, edge) by
+        # spying on the fault filter.  The digest round index is the ledger's
+        # post-increment observer index, i.e. transport round + 1.  LOCAL
+        # mode: per-edge delays are unsupported alongside chunked oversized
+        # payloads (the late delivery would land in a budget-enforced round).
+        # gnp-johansson materializes inboxes from round 1, so the perturbed
+        # delivery is localizable to its receiver (a broadcast_discard round
+        # would diverge on counters only, by design).
+        spec = smoke_spec("gnp-johansson", trials=1, mode="local")
+        graph_seed, _ = trial_seeds(spec, 0)
+        graph, _ = GRAPH_FAMILIES[spec.family](
+            graph_seed, **dict(spec.family_params))
+        u, v = sorted(graph.edges())[0]
+        faulted = replace(spec, faults={"delay": {(u, v): 1}})
+
+        from repro.faults.transport import FaultyTransport
+
+        original = FaultyTransport._filter
+        modifications = []
+
+        def spy(self, messages, round_id, label, *args, **kwargs):
+            out = original(self, messages, round_id, label, *args, **kwargs)
+            for edge in messages:
+                if edge not in out or out[edge] != messages[edge]:
+                    modifications.append((round_id, edge))
+            return out
+
+        monkeypatch.setattr(FaultyTransport, "_filter", spy)
+        _, faulted_events = digest_run(faulted)
+        monkeypatch.setattr(FaultyTransport, "_filter", original)
+        _, clean_events = digest_run(spec)
+
+        assert modifications, "the injected edge never carried a message"
+        injected_round, injected_edge = modifications[0]
+        assert injected_edge == (u, v)
+
+        div = first_divergence(clean_events, faulted_events)
+        assert div is not None
+        assert div.round == injected_round + 1
+        assert div.component == "inbox"
+
+        report = bisect_divergence(clean_events, faulted_events,
+                                   divergence=div)
+        assert report.fine is not None
+        assert report.fine.round == injected_round + 1
+        assert report.fine.node == repr(v)
+        assert report.fine.component == "inbox"
+        # the fine re-runs reproduced the stored chains: no suspicion notes
+        assert report.notes == []
+        rendered = render_bisect(report)
+        assert f"first divergent node: {v!r}" in rendered
+
+    def test_bisect_on_identical_streams_is_none(self):
+        spec = smoke_spec("gnp-d1c", trials=1)
+        _, events_a = digest_run(spec)
+        _, events_b = digest_run(spec)
+        assert bisect_divergence(events_a, events_b) is None
+        assert "nothing to bisect" in render_bisect(None)
+
+    def test_fine_mode_windows_per_node_data(self):
+        # gnp-johansson: every round materializes inboxes (no discard rounds)
+        spec = smoke_spec("gnp-johansson", trials=1)
+        _, events = digest_run(spec, fine_rounds=(2, 3))
+        block = split_trials(events)[0]
+        assert sorted(block["fine"]) == [2, 3]
+        fine = block["fine"][2]
+        # scenario solvers drive the Network directly, so fine events carry
+        # per-node inboxes; state/halted maps appear on Simulator-driven runs
+        assert fine["inbox"]
+        for node_key, entry in fine["inbox"].items():
+            assert isinstance(node_key, str)
+            digest_hex, count = entry
+            int(digest_hex, 16)
+            assert count >= 1
+        # fine events never perturb the chain: identical to a coarse run
+        _, coarse = digest_run(spec)
+        assert [e["chain"] for e in block["rounds"]] == \
+            [e["chain"] for e in split_trials(coarse)[0]["rounds"]]
+
+
+# --------------------------------------------------------------------------- #
+# Aggregate + compare integration
+# --------------------------------------------------------------------------- #
+
+class TestCompareDigests:
+    def _summaries(self, tmp_path):
+        specs = [smoke_spec("gnp-d1c", trials=1)]
+        plain = aggregate_suite(run_scenarios(specs, suite="smoke"))
+        digested = aggregate_suite(run_scenarios(
+            specs, suite="smoke", digest_dir=tmp_path))
+        return plain, digested
+
+    def test_cross_digest_baseline_is_refused(self, tmp_path):
+        plain, digested = self._summaries(tmp_path)
+        findings = compare_summaries(plain, digested)
+        assert not gate_passes(findings)
+        assert any(f.metric == "digests" and "--digest" in f.detail
+                   for f in findings)
+        findings = compare_summaries(digested, plain)
+        assert not gate_passes(findings)
+
+    def test_digest_drift_fails_with_localization_hint(self, tmp_path):
+        _, digested = self._summaries(tmp_path)
+        import copy
+
+        drifted = copy.deepcopy(digested)
+        drifted["scenarios"]["gnp-d1c"]["state_digest"][0] = "0" * 16
+        findings = compare_summaries(digested, drifted)
+        assert not gate_passes(findings)
+        assert any(f.metric == "state_digest" and "repro diff" in f.detail
+                   for f in findings)
+
+    def test_plain_aggregate_schema_is_untouched(self, tmp_path):
+        plain, digested = self._summaries(tmp_path)
+        assert "digests" not in plain
+        assert "state_digest" not in plain["scenarios"]["gnp-d1c"]
+        assert digested["digests"] is True
+        # metrics themselves are identical: the digest is identity, not metric
+        assert plain["scenarios"]["gnp-d1c"]["metrics"] == \
+            digested["scenarios"]["gnp-d1c"]["metrics"]
+
+    def test_digested_aggregate_deterministic_across_workers(self, tmp_path):
+        specs = [smoke_spec("gnp-d1c")]
+        a = aggregate_suite(run_scenarios(specs, suite="smoke",
+                                          digest_dir=tmp_path / "a"))
+        b = aggregate_suite(run_scenarios(specs, suite="smoke", workers=2,
+                                          digest_dir=tmp_path / "b"))
+        assert canonical_dumps(a) == canonical_dumps(b)
+
+
+# --------------------------------------------------------------------------- #
+# Trend localization (repro report trend upgrade)
+# --------------------------------------------------------------------------- #
+
+class TestTrendLocalization:
+    def _record(self, digest, digest_dir=None, scenarios=("gnp-d1c",)):
+        record = {
+            "schema": "repro-runs/1", "suite": "smoke", "digest": digest,
+            "scenarios": list(scenarios), "trials": 1, "valid_trials": 1,
+        }
+        if digest_dir is not None:
+            record["digest_dir"] = str(digest_dir)
+        return record
+
+    def test_no_stored_streams_degrades_to_info(self):
+        from repro.obs.analytics import detect_trends
+
+        findings = detect_trends([self._record("a" * 64),
+                                  self._record("b" * 64)])
+        assert gate_passes(findings)
+        assert any("--digest" in f.detail for f in findings)
+
+    def test_same_directory_is_called_out(self):
+        from repro.obs.analytics import localize_digest_change
+
+        prev = self._record("a" * 64, digest_dir="/tmp/x")
+        cur = self._record("b" * 64, digest_dir="/tmp/x")
+        findings = localize_digest_change("smoke", prev, cur)
+        assert gate_passes(findings)
+        assert any("overwritten" in f.detail for f in findings)
+
+    def test_missing_stream_is_an_info_finding(self, tmp_path):
+        from repro.obs.analytics import localize_digest_change
+
+        (tmp_path / "a").mkdir()
+        (tmp_path / "b").mkdir()
+        prev = self._record("a" * 64, digest_dir=tmp_path / "a")
+        cur = self._record("b" * 64, digest_dir=tmp_path / "b")
+        findings = localize_digest_change("smoke", prev, cur)
+        assert gate_passes(findings)
+        assert any("missing" in f.detail for f in findings)
+
+    def test_divergent_streams_localize(self, tmp_path):
+        from repro.obs.analytics import localize_digest_change
+
+        spec = smoke_spec("gnp-d1c", trials=1)
+        run_scenarios([spec], suite="smoke", digest_dir=tmp_path / "a")
+        run_scenarios([replace(spec, faults={"corrupt": 2e-3})],
+                      suite="smoke", digest_dir=tmp_path / "b")
+        prev = self._record("a" * 64, digest_dir=tmp_path / "a")
+        cur = self._record("b" * 64, digest_dir=tmp_path / "b")
+        findings = localize_digest_change("smoke", prev, cur)
+        assert any("first divergence at round" in f.detail
+                   and "repro diff" in f.detail for f in findings)
+        assert gate_passes(findings)
+
+
+# --------------------------------------------------------------------------- #
+# CLI: repro diff / suite run --digest / report trend (satellite 2)
+# --------------------------------------------------------------------------- #
+
+class TestCli:
+    def _digest_streams(self, tmp_path):
+        from repro.cli import main
+
+        rc = main(["suite", "run", "smoke", "--only", "gnp-d1c",
+                   "--trials", "1", "--out", str(tmp_path / "a"),
+                   "--digest", str(tmp_path / "a")])
+        assert rc == 0
+        rc = main(["suite", "run", "smoke", "--only", "gnp-d1c",
+                   "--trials", "1", "--out", str(tmp_path / "b"),
+                   "--digest", str(tmp_path / "b"),
+                   "--faults", "corrupt=2e-3"])
+        assert rc == 0
+        return (tmp_path / "a" / "DIGEST_gnp-d1c.jsonl",
+                tmp_path / "b" / "DIGEST_gnp-d1c.jsonl")
+
+    def test_diff_exit_codes_and_bisect(self, tmp_path, capsys):
+        from repro.cli import main
+
+        clean, faulted = self._digest_streams(tmp_path)
+        assert main(["diff", str(clean), str(clean)]) == 0
+        assert "identical" in capsys.readouterr().out
+        assert main(["diff", str(clean), str(faulted)]) == 1
+        assert "first divergence at round" in capsys.readouterr().out
+        assert main(["diff", str(clean), str(faulted), "--bisect"]) == 1
+        assert "first divergent node" in capsys.readouterr().out
+
+    def test_diff_json_payload(self, tmp_path, capsys):
+        from repro.cli import main
+
+        clean, faulted = self._digest_streams(tmp_path)
+        capsys.readouterr()  # drain the suite-run output
+        assert main(["diff", str(clean), str(faulted), "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["identical"] is False
+        assert payload["divergence"]["component"] == "inbox"
+
+    def test_diff_unreadable_input_exits_2(self, tmp_path, capsys):
+        from repro.cli import main
+
+        bogus = tmp_path / "DIGEST_x.jsonl"
+        bogus.write_text('{"type": "round"}\n')
+        assert main(["diff", str(bogus), str(bogus)]) == 2
+
+    def test_suite_run_digest_writes_stream_and_registry(self, tmp_path,
+                                                         capsys):
+        from repro.cli import main
+
+        out = tmp_path / "run"
+        rc = main(["suite", "run", "smoke", "--only", "gnp-d1c",
+                   "--trials", "1", "--out", str(out),
+                   "--digest", str(out)])
+        assert rc == 0
+        assert "digests:" in capsys.readouterr().out
+        assert (out / "DIGEST_gnp-d1c.jsonl").exists()
+        summary = json.loads((out / "BENCH_suite.json").read_text())
+        assert summary["digests"] is True
+        records = [json.loads(line) for line
+                   in (out / "RUNS.jsonl").read_text().splitlines()]
+        assert records[0]["digest_dir"] == str(out)
+
+    def test_report_trend_survives_empty_registry(self, tmp_path, capsys):
+        from repro.cli import main
+
+        (tmp_path / "RUNS.jsonl").write_text("")
+        assert main(["report", "trend", "--dir", str(tmp_path)]) == 0
+        assert "no run history" in capsys.readouterr().out
+
+    def test_report_trend_survives_garbage_registry(self, tmp_path, capsys):
+        from repro.cli import main
+
+        (tmp_path / "RUNS.jsonl").write_text(
+            '{"schema": "other/1"}\nnot json at all\n')
+        assert main(["report", "trend", "--dir", str(tmp_path)]) == 0
+        assert "no run history" in capsys.readouterr().out
+
+    def test_report_trend_missing_registry(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["report", "trend", "--dir", str(tmp_path)]) == 0

@@ -163,10 +163,23 @@ class TestRoundTracer:
         with pytest.raises(RuntimeError):
             tracer.attach(Network(nx.path_graph(3)))
 
-    def test_one_tracer_per_ledger(self):
-        net = Network(nx.path_graph(3), tracer=RoundTracer())
-        with pytest.raises(RuntimeError):
-            RoundTracer().attach(net)
+    def test_tracers_compose_on_one_ledger(self):
+        # Historically a second attach raised; the observer multiplexer now
+        # fans the ledger's round callback out to every attached tracer (the
+        # forensics DigestTracer rides the same seam — see test_forensics).
+        first = RoundTracer()
+        net = Network(nx.path_graph(3), tracer=first)
+        second = RoundTracer()
+        second.attach(net)
+        net.exchange({(0, 1): 1}, label="a")
+        assert len([e for e in first.events if e["type"] == "round"]) == 1
+        assert len([e for e in second.events if e["type"] == "round"]) == 1
+        second.close()
+        net.exchange({(1, 2): 1}, label="b")
+        assert len([e for e in first.events if e["type"] == "round"]) == 2
+        assert len([e for e in second.events if e["type"] == "round"]) == 1
+        first.close()
+        assert net.ledger.observer is None
 
     def test_periodic_samples_use_injected_clock(self):
         fake = iter(range(100))
